@@ -1,0 +1,56 @@
+// Ablation: the spatio-temporal grid index in Algorithm 1.
+//
+// Proposition 1 claims O(N + n²) without an index and near-linear with one.
+// This bench grows the record count and reports both paths' times and
+// neighbor-check counts; the unindexed column should grow quadratically,
+// the indexed one roughly linearly.
+#include "analytics/report.h"
+#include "bench/bench_util.h"
+#include "core/event_retrieval.h"
+#include "gen/workload.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace atypical;
+  bench::PrintHeader(
+      "Ablation: grid index (Proposition 1)",
+      "event retrieval cost vs record count, with and without the index",
+      "unindexed time grows ~n², indexed ~n");
+
+  const auto workload = MakeWorkload(WorkloadScale::kSmall);
+  const TimeGrid grid = workload->gen_config.time_grid;
+  // One month of records, truncated to increasing prefixes.
+  const std::vector<AtypicalRecord> all =
+      workload->generator->GenerateMonthAtypical(0);
+
+  Table table({"records", "indexed (ms)", "brute (ms)", "speedup",
+               "indexed checks", "brute checks"});
+  for (const size_t n : {1000ul, 2000ul, 4000ul, 8000ul, 16000ul}) {
+    if (n > all.size()) break;
+    std::vector<AtypicalRecord> records(all.begin(), all.begin() + n);
+    RetrievalParams params = analytics::DefaultForestParams().retrieval;
+    ClusterIdGenerator ids;
+
+    params.use_index = true;
+    RetrievalStats indexed;
+    Stopwatch t1;
+    RetrieveMicroClusters(records, *workload->sensors, grid, params, &ids,
+                          &indexed);
+    const double indexed_ms = t1.ElapsedMillis();
+
+    params.use_index = false;
+    RetrievalStats brute;
+    Stopwatch t2;
+    RetrieveMicroClusters(records, *workload->sensors, grid, params, &ids,
+                          &brute);
+    const double brute_ms = t2.ElapsedMillis();
+
+    table.AddRow({StrPrintf("%zu", n), StrPrintf("%.2f", indexed_ms),
+                  StrPrintf("%.2f", brute_ms),
+                  StrPrintf("%.0fx", brute_ms / std::max(indexed_ms, 1e-6)),
+                  StrPrintf("%zu", indexed.neighbor_checks),
+                  StrPrintf("%zu", brute.neighbor_checks)});
+  }
+  bench::EmitTable("ablation_index", table);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench prints (a) what it reproduces and which shape the paper
+// reports, (b) an aligned results table, and (c) writes the table as CSV to
+// bench_results/ so the series can be re-plotted.
+#ifndef ATYPICAL_BENCH_BENCH_UTIL_H_
+#define ATYPICAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace atypical {
+namespace bench {
+
+// Number of synthetic months used by year-scale benches; override with
+// ATYPICAL_BENCH_MONTHS for quicker runs.
+inline int BenchMonths(int default_months = 12) {
+  const char* env = std::getenv("ATYPICAL_BENCH_MONTHS");
+  if (env == nullptr) return default_months;
+  const int64_t v = ParseInt64(env);
+  return v > 0 ? static_cast<int>(v) : default_months;
+}
+
+inline void PrintHeader(const std::string& figure,
+                        const std::string& description,
+                        const std::string& paper_shape) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("paper shape: %s\n", paper_shape.c_str());
+  std::printf("==================================================\n");
+}
+
+inline void EmitTable(const std::string& name, const Table& table) {
+  std::printf("\n%s\n", table.ToAlignedString().c_str());
+  ::mkdir("bench_results", 0755);
+  const std::string path = "bench_results/" + name + ".csv";
+  const Status s = table.WriteCsv(path);
+  if (s.ok()) {
+    std::printf("(csv written to %s)\n", path.c_str());
+  } else {
+    std::printf("(csv not written: %s)\n", s.ToString().c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace atypical
+
+#endif  // ATYPICAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,22 @@
+#include "analytics/ground_truth.h"
+
+namespace atypical {
+namespace analytics {
+
+GroundTruth ComputeGroundTruth(const QueryResult& all_result) {
+  GroundTruth gt;
+  gt.threshold = all_result.threshold;
+  for (const AtypicalCluster& cluster : all_result.clusters) {
+    if (IsSignificant(cluster, all_result.threshold)) {
+      gt.significant_mass += cluster.severity();
+      for (ClusterId micro : cluster.micro_ids) {
+        gt.significant_micros.insert(micro);
+      }
+      gt.significant.push_back(cluster);
+    }
+  }
+  return gt;
+}
+
+}  // namespace analytics
+}  // namespace atypical

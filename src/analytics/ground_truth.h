@@ -1,0 +1,37 @@
+// Ground truth for effectiveness evaluation (§V.B).
+//
+// The integrating-all strategy prunes nothing, so its results contain every
+// significant cluster; the true significant clusters extracted from an All
+// run are the ground truth against which Pru and Gui are scored.
+#ifndef ATYPICAL_ANALYTICS_GROUND_TRUTH_H_
+#define ATYPICAL_ANALYTICS_GROUND_TRUTH_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/query.h"
+
+namespace atypical {
+namespace analytics {
+
+struct GroundTruth {
+  // The true significant macro-clusters (severity > threshold in the All
+  // result).
+  std::vector<AtypicalCluster> significant;
+  // Micro-cluster ids composing them.  All's macro-clusters partition the
+  // in-range micros, so membership in this set classifies every micro as
+  // significant-mass or trivial-mass.
+  std::unordered_set<ClusterId> significant_micros;
+  // Total severity of those micros (== Σ severity of `significant`).
+  double significant_mass = 0.0;
+  double threshold = 0.0;
+};
+
+// Builds the ground truth from an All-strategy result (run without
+// significance post-checking so the full macro set is visible).
+GroundTruth ComputeGroundTruth(const QueryResult& all_result);
+
+}  // namespace analytics
+}  // namespace atypical
+
+#endif  // ATYPICAL_ANALYTICS_GROUND_TRUTH_H_

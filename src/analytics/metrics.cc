@@ -1,0 +1,97 @@
+#include "analytics/metrics.h"
+
+#include <unordered_map>
+
+namespace atypical {
+namespace analytics {
+
+namespace {
+
+double SeverityOf(const std::map<ClusterId, double>& micro_severity,
+                  ClusterId micro) {
+  const auto it = micro_severity.find(micro);
+  return it == micro_severity.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+PrecisionRecall EvaluateMass(
+    const QueryResult& result, const GroundTruth& gt,
+    const std::map<ClusterId, double>& micro_severity) {
+  PrecisionRecall pr;
+  pr.returned_clusters = result.clusters.size();
+  pr.true_significant = gt.significant.size();
+
+  double returned_mass = 0.0;
+  double significant_returned_mass = 0.0;
+  for (const AtypicalCluster& cluster : result.clusters) {
+    for (ClusterId micro : cluster.micro_ids) {
+      const double severity = SeverityOf(micro_severity, micro);
+      returned_mass += severity;
+      if (gt.significant_micros.contains(micro)) {
+        significant_returned_mass += severity;
+      }
+    }
+  }
+  pr.precision =
+      returned_mass > 0.0 ? significant_returned_mass / returned_mass : 0.0;
+  pr.recall = gt.significant_mass > 0.0
+                  ? significant_returned_mass / gt.significant_mass
+                  : 1.0;
+  return pr;
+}
+
+PrecisionRecall EvaluateClusterMatch(
+    const QueryResult& result, const GroundTruth& gt,
+    const std::map<ClusterId, double>& micro_severity,
+    const ClusterMatchParams& params) {
+  PrecisionRecall pr;
+  pr.returned_clusters = result.clusters.size();
+  pr.true_significant = gt.significant.size();
+
+  // micro id -> index of the ground-truth cluster owning it.
+  std::unordered_map<ClusterId, size_t> owner;
+  for (size_t g = 0; g < gt.significant.size(); ++g) {
+    for (ClusterId micro : gt.significant[g].micro_ids) {
+      owner.emplace(micro, g);
+    }
+  }
+
+  std::vector<bool> gt_matched(gt.significant.size(), false);
+  size_t matched_returned = 0;
+  for (const AtypicalCluster& cluster : result.clusters) {
+    // Shared severity mass per ground-truth cluster.
+    std::unordered_map<size_t, double> shared;
+    for (ClusterId micro : cluster.micro_ids) {
+      const auto it = owner.find(micro);
+      if (it != owner.end()) {
+        shared[it->second] += SeverityOf(micro_severity, micro);
+      }
+    }
+    bool matched = false;
+    for (const auto& [g, mass] : shared) {
+      if (mass >= params.overlap * gt.significant[g].severity()) {
+        gt_matched[g] = true;
+        matched = true;
+      }
+    }
+    if (matched) ++matched_returned;
+  }
+
+  pr.precision = pr.returned_clusters > 0
+                     ? static_cast<double>(matched_returned) /
+                           static_cast<double>(pr.returned_clusters)
+                     : 0.0;
+  size_t recovered = 0;
+  for (const bool m : gt_matched) {
+    if (m) ++recovered;
+  }
+  pr.recall = pr.true_significant > 0
+                  ? static_cast<double>(recovered) /
+                        static_cast<double>(pr.true_significant)
+                  : 1.0;
+  return pr;
+}
+
+}  // namespace analytics
+}  // namespace atypical

@@ -1,0 +1,51 @@
+// Precision / recall of analytical query results against the ground truth.
+//
+// Two evaluation protocols:
+//
+//  * Mass-weighted (primary; used by the Fig. 18/19 reproductions):
+//    precision = fraction of the returned clusters' severity mass that
+//    belongs to true significant clusters; recall = fraction of the ground
+//    truth's mass recovered.  Macro-clusters carry their source micro ids,
+//    and All's macros partition the micro universe, so the overlap is
+//    computed exactly on shared micro-cluster ids.
+//
+//  * Cluster-matching (secondary): a returned cluster matches a ground-truth
+//    cluster G if it recovers at least `overlap` of G's severity; precision
+//    counts matched returned clusters, recall counts matched ground-truth
+//    clusters.
+#ifndef ATYPICAL_ANALYTICS_METRICS_H_
+#define ATYPICAL_ANALYTICS_METRICS_H_
+
+#include <map>
+
+#include "analytics/ground_truth.h"
+#include "core/query.h"
+
+namespace atypical {
+namespace analytics {
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t returned_clusters = 0;
+  size_t true_significant = 0;
+};
+
+// Mass-weighted evaluation.  `micro_severity` maps every in-range micro id
+// to its severity (AtypicalForest::MicroSeverities).
+PrecisionRecall EvaluateMass(const QueryResult& result, const GroundTruth& gt,
+                             const std::map<ClusterId, double>& micro_severity);
+
+struct ClusterMatchParams {
+  double overlap = 0.5;  // fraction of G's severity a match must recover
+};
+
+PrecisionRecall EvaluateClusterMatch(
+    const QueryResult& result, const GroundTruth& gt,
+    const std::map<ClusterId, double>& micro_severity,
+    const ClusterMatchParams& params = {});
+
+}  // namespace analytics
+}  // namespace atypical
+
+#endif  // ATYPICAL_ANALYTICS_METRICS_H_

@@ -1,0 +1,72 @@
+#include "analytics/report.h"
+
+#include "util/logging.h"
+
+namespace atypical {
+namespace analytics {
+
+ForestParams DefaultForestParams() {
+  ForestParams params;
+  params.retrieval.delta_d_miles = 1.5;
+  params.retrieval.delta_t_minutes = 15;
+  params.retrieval.use_index = true;
+  params.integration.delta_sim = 0.5;
+  params.integration.g = BalanceFunction::kArithmeticMean;
+  params.integration.use_candidate_index = true;
+  return params;
+}
+
+SignificanceParams DefaultSignificanceParams() {
+  SignificanceParams params;
+  params.delta_s = 0.05;
+  params.unit = LengthUnit::kDays;
+  return params;
+}
+
+QueryEngineOptions DefaultEngineOptions() {
+  QueryEngineOptions options;
+  options.integration = DefaultForestParams().integration;
+  options.significance = DefaultSignificanceParams();
+  return options;
+}
+
+AnalyticalQuery ExperimentContext::WholeAreaQuery(int num_days) const {
+  AnalyticalQuery query;
+  query.area = network().bounds();
+  query.days = DayRange{0, num_days - 1};
+  return query;
+}
+
+QueryEngine ExperimentContext::MakeEngine(
+    const QueryEngineOptions& options) const {
+  return QueryEngine(&network(), &regions(), forest.get(), &atypical_cube,
+                     options);
+}
+
+std::unique_ptr<ExperimentContext> BuildContext(WorkloadScale scale,
+                                                int num_months,
+                                                const ForestParams& params,
+                                                uint64_t seed) {
+  CHECK_GT(num_months, 0);
+  auto ctx = std::make_unique<ExperimentContext>();
+  ctx->workload = MakeWorkload(scale, seed);
+  CHECK_LE(num_months, ctx->workload->num_months);
+  ctx->forest_params = params;
+  ctx->forest = std::make_unique<AtypicalForest>(
+      ctx->workload->sensors.get(), ctx->workload->gen_config.time_grid,
+      params);
+
+  for (int month = 0; month < num_months; ++month) {
+    std::vector<AtypicalRecord> records =
+        ctx->workload->generator->GenerateMonthAtypical(month);
+    ctx->forest->AddRecords(records);
+    ctx->atypical_cube.MergeFrom(cube::BottomUpCube::FromAtypical(
+        records, *ctx->workload->regions,
+        ctx->workload->gen_config.time_grid));
+    ctx->monthly_atypical.push_back(std::move(records));
+  }
+  return ctx;
+}
+
+}  // namespace analytics
+}  // namespace atypical

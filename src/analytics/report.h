@@ -1,0 +1,60 @@
+// Shared experiment plumbing for the figure-reproduction benches and the
+// end-to-end examples: build a workload, materialize the forest and the
+// atypical cube over a span of months, and expose the pieces the paper's
+// experiments combine.
+#ifndef ATYPICAL_ANALYTICS_REPORT_H_
+#define ATYPICAL_ANALYTICS_REPORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/forest.h"
+#include "core/query.h"
+#include "cube/cube.h"
+#include "gen/workload.h"
+
+namespace atypical {
+namespace analytics {
+
+// A fully-built analysis stack over `num_months` synthetic months.
+struct ExperimentContext {
+  std::unique_ptr<Workload> workload;
+  // Atypical records per generated month (index = month).
+  std::vector<std::vector<AtypicalRecord>> monthly_atypical;
+  std::unique_ptr<AtypicalForest> forest;
+  cube::BottomUpCube atypical_cube;  // MC cube over all generated months
+  ForestParams forest_params;
+
+  const SensorNetwork& network() const { return *workload->sensors; }
+  const RegionGrid& regions() const { return *workload->regions; }
+  const TimeGrid& time_grid() const {
+    return workload->gen_config.time_grid;
+  }
+  int days_per_month() const { return workload->gen_config.days_per_month; }
+
+  // Whole-area query over the first `num_days` days.
+  AnalyticalQuery WholeAreaQuery(int num_days) const;
+
+  // A query engine bound to this context.
+  QueryEngine MakeEngine(const QueryEngineOptions& options) const;
+};
+
+// Paper-default parameters: δd = 1.5 mi, δt = 15 min, δsim = 0.5,
+// g = arithmetic mean.
+ForestParams DefaultForestParams();
+
+// Paper-default δs = 5% with day length units.
+SignificanceParams DefaultSignificanceParams();
+
+QueryEngineOptions DefaultEngineOptions();
+
+// Generates `num_months` months, builds daily micro-clusters and the
+// atypical cube.
+std::unique_ptr<ExperimentContext> BuildContext(
+    WorkloadScale scale, int num_months,
+    const ForestParams& params = DefaultForestParams(), uint64_t seed = 1);
+
+}  // namespace analytics
+}  // namespace atypical
+
+#endif  // ATYPICAL_ANALYTICS_REPORT_H_

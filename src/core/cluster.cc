@@ -1,0 +1,151 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace atypical {
+
+void FeatureVector::Add(uint32_t key, double severity) {
+  CHECK_GE(severity, 0.0);
+  if (severity == 0.0) return;
+  // Fast path: appending in key order keeps the vector clean.
+  if (!dirty_ && !entries_.empty() && entries_.back().key == key) {
+    entries_.back().severity += severity;
+  } else if (!dirty_ && (entries_.empty() || entries_.back().key < key)) {
+    entries_.push_back(Entry{key, severity});
+  } else {
+    entries_.push_back(Entry{key, severity});
+    dirty_ = true;
+  }
+  total_ += severity;
+}
+
+void FeatureVector::Compact() const {
+  if (!dirty_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].key == entries_[i].key) {
+      entries_[out - 1].severity += entries_[i].severity;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+  dirty_ = false;
+}
+
+size_t FeatureVector::size() const {
+  Compact();
+  return entries_.size();
+}
+
+double FeatureVector::Get(uint32_t key) const {
+  Compact();
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, uint32_t k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return 0.0;
+  return it->severity;
+}
+
+bool FeatureVector::Contains(uint32_t key) const { return Get(key) > 0.0; }
+
+const std::vector<FeatureVector::Entry>& FeatureVector::entries() const {
+  Compact();
+  return entries_;
+}
+
+std::pair<double, double> FeatureVector::CommonSeverity(
+    const FeatureVector& other) const {
+  const auto& a = entries();
+  const auto& b = other.entries();
+  double mine = 0.0;
+  double theirs = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].key < b[j].key) {
+      ++i;
+    } else if (a[i].key > b[j].key) {
+      ++j;
+    } else {
+      mine += a[i].severity;
+      theirs += b[j].severity;
+      ++i;
+      ++j;
+    }
+  }
+  return {mine, theirs};
+}
+
+FeatureVector FeatureVector::Merge(const FeatureVector& a,
+                                   const FeatureVector& b) {
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  FeatureVector out;
+  out.entries_.reserve(ea.size() + eb.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ea.size() || j < eb.size()) {
+    if (j == eb.size() || (i < ea.size() && ea[i].key < eb[j].key)) {
+      out.entries_.push_back(ea[i++]);
+    } else if (i == ea.size() || eb[j].key < ea[i].key) {
+      out.entries_.push_back(eb[j++]);
+    } else {
+      out.entries_.push_back(
+          Entry{ea[i].key, ea[i].severity + eb[j].severity});
+      ++i;
+      ++j;
+    }
+  }
+  out.total_ = a.total_ + b.total_;
+  return out;
+}
+
+FeatureVector::Entry FeatureVector::Top() const {
+  const auto& e = entries();
+  CHECK(!e.empty()) << "Top() on empty feature";
+  Entry best = e[0];
+  for (const Entry& entry : e) {
+    if (entry.severity > best.severity) best = entry;
+  }
+  return best;
+}
+
+std::vector<FeatureVector::Entry> FeatureVector::TopEntries(size_t k) const {
+  std::vector<Entry> sorted = entries();
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.severity != b.severity) return a.severity > b.severity;
+    return a.key < b.key;
+  });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+uint64_t FeatureVector::ByteSize() const {
+  return entries().size() * (sizeof(uint32_t) + sizeof(double));
+}
+
+std::string AtypicalCluster::DebugString(const TimeGrid& grid) const {
+  if (spatial.empty()) {
+    return StrPrintf("cluster %llu (empty)", (unsigned long long)id);
+  }
+  const FeatureVector::Entry top_sensor = spatial.Top();
+  const FeatureVector::Entry top_window = temporal.Top();
+  const int minute =
+      key_mode == TemporalKeyMode::kTimeOfDay
+          ? static_cast<int>(top_window.key) * grid.window_minutes()
+          : grid.MinuteOfDay(static_cast<WindowId>(top_window.key));
+  return StrPrintf(
+      "cluster %llu: severity=%.1f min, %d sensors, %d windows, days %d-%d, "
+      "%d micros; hottest sensor s%u (%.1f min), peak window %s (%.1f min)",
+      (unsigned long long)id, severity(), num_sensors(), num_windows(),
+      first_day, last_day, num_micros(), top_sensor.key, top_sensor.severity,
+      ClockLabel(minute).c_str(), top_window.severity);
+}
+
+}  // namespace atypical

@@ -1,0 +1,196 @@
+#include "core/forest.h"
+
+#include <algorithm>
+
+#include "core/temporal_key.h"
+#include "cube/hierarchy.h"
+#include "util/logging.h"
+
+namespace atypical {
+
+AtypicalForest::AtypicalForest(const SensorNetwork* network,
+                               const TimeGrid& grid,
+                               const ForestParams& params)
+    : network_(network), grid_(grid), params_(params), ids_(1) {
+  CHECK(network != nullptr);
+}
+
+void AtypicalForest::AddDay(int day,
+                            const std::vector<AtypicalRecord>& records) {
+  CHECK(!micros_by_day_.contains(day)) << "day " << day << " already added";
+  for (const AtypicalRecord& r : records) {
+    CHECK_EQ(grid_.DayOfWindow(r.window), day)
+        << "record window not on day " << day;
+  }
+  std::vector<AtypicalCluster> micros = RetrieveMicroClusters(
+      records, *network_, grid_, params_.retrieval, &ids_);
+  num_micros_ += micros.size();
+  micros_by_day_.emplace(day, std::move(micros));
+}
+
+void AtypicalForest::AddRecords(const std::vector<AtypicalRecord>& records) {
+  std::map<int, std::vector<AtypicalRecord>> by_day;
+  for (const AtypicalRecord& r : records) {
+    by_day[grid_.DayOfWindow(r.window)].push_back(r);
+  }
+  for (auto& [day, day_records] : by_day) {
+    AddDay(day, day_records);
+  }
+}
+
+std::vector<int> AtypicalForest::Days() const {
+  std::vector<int> days;
+  days.reserve(micros_by_day_.size());
+  for (const auto& [day, _] : micros_by_day_) days.push_back(day);
+  return days;
+}
+
+const std::vector<AtypicalCluster>& AtypicalForest::MicrosOfDay(int day) const {
+  const auto it = micros_by_day_.find(day);
+  CHECK(it != micros_by_day_.end()) << "no micro-clusters for day " << day;
+  return it->second;
+}
+
+std::vector<const AtypicalCluster*> AtypicalForest::MicrosInRange(
+    const DayRange& range) const {
+  std::vector<const AtypicalCluster*> out;
+  for (auto it = micros_by_day_.lower_bound(range.first_day);
+       it != micros_by_day_.end() && it->first <= range.last_day; ++it) {
+    for (const AtypicalCluster& c : it->second) out.push_back(&c);
+  }
+  return out;
+}
+
+std::map<ClusterId, double> AtypicalForest::MicroSeverities(
+    const DayRange& range) const {
+  std::map<ClusterId, double> out;
+  for (const AtypicalCluster* c : MicrosInRange(range)) {
+    out.emplace(c->id, c->severity());
+  }
+  return out;
+}
+
+std::vector<AtypicalCluster> AtypicalForest::IntegrateRange(
+    const DayRange& range) {
+  std::vector<AtypicalCluster> input;
+  for (const AtypicalCluster* micro : MicrosInRange(range)) {
+    input.push_back(WithTemporalKeyMode(*micro, grid_,
+                                        TemporalKeyMode::kTimeOfDay));
+  }
+  return IntegrateClusters(std::move(input), params_.integration, &ids_);
+}
+
+size_t AtypicalForest::MaterializeWeeks() {
+  macros_by_week_.clear();
+  std::map<int, DayRange> weeks;
+  for (const auto& [day, _] : micros_by_day_) {
+    auto [it, inserted] =
+        weeks.emplace(cube::WeekOfDay(day), DayRange{day, day});
+    if (!inserted) {
+      it->second.first_day = std::min(it->second.first_day, day);
+      it->second.last_day = std::max(it->second.last_day, day);
+    }
+  }
+  size_t built = 0;
+  for (const auto& [week, range] : weeks) {
+    std::vector<AtypicalCluster> macros = IntegrateRange(range);
+    built += macros.size();
+    macros_by_week_.emplace(week, std::move(macros));
+  }
+  return built;
+}
+
+size_t AtypicalForest::MaterializeMonths(int days_per_month) {
+  CHECK_GT(days_per_month, 0);
+  month_days_ = days_per_month;
+  macros_by_month_.clear();
+  std::map<int, DayRange> months;
+  for (const auto& [day, _] : micros_by_day_) {
+    const int month = cube::MonthOfDay(day, days_per_month);
+    auto [it, inserted] = months.emplace(month, DayRange{day, day});
+    if (!inserted) {
+      it->second.first_day = std::min(it->second.first_day, day);
+      it->second.last_day = std::max(it->second.last_day, day);
+    }
+  }
+  size_t built = 0;
+  for (const auto& [month, range] : months) {
+    std::vector<AtypicalCluster> macros = IntegrateRange(range);
+    built += macros.size();
+    macros_by_month_.emplace(month, std::move(macros));
+  }
+  return built;
+}
+
+const std::vector<AtypicalCluster>& AtypicalForest::MacrosOfWeek(
+    int week) const {
+  const auto it = macros_by_week_.find(week);
+  CHECK(it != macros_by_week_.end()) << "week " << week << " not materialized";
+  return it->second;
+}
+
+const std::vector<AtypicalCluster>& AtypicalForest::MacrosOfMonth(
+    int month) const {
+  const auto it = macros_by_month_.find(month);
+  CHECK(it != macros_by_month_.end())
+      << "month " << month << " not materialized";
+  return it->second;
+}
+
+std::vector<int> AtypicalForest::MaterializedWeeks() const {
+  std::vector<int> weeks;
+  for (const auto& [week, _] : macros_by_week_) weeks.push_back(week);
+  return weeks;
+}
+
+std::vector<int> AtypicalForest::MaterializedMonths() const {
+  std::vector<int> months;
+  for (const auto& [month, _] : macros_by_month_) months.push_back(month);
+  return months;
+}
+
+void AtypicalForest::AdvanceIdsPast(
+    const std::vector<AtypicalCluster>& clusters) {
+  ClusterId max_id = 0;
+  for (const AtypicalCluster& c : clusters) {
+    max_id = std::max(max_id, c.id);
+    for (ClusterId micro : c.micro_ids) max_id = std::max(max_id, micro);
+  }
+  ids_.EnsureAbove(max_id);
+}
+
+void AtypicalForest::InstallDay(int day,
+                                std::vector<AtypicalCluster> micros) {
+  CHECK(!micros_by_day_.contains(day)) << "day " << day << " already present";
+  AdvanceIdsPast(micros);
+  num_micros_ += micros.size();
+  micros_by_day_.emplace(day, std::move(micros));
+}
+
+void AtypicalForest::InstallWeek(int week,
+                                 std::vector<AtypicalCluster> macros) {
+  AdvanceIdsPast(macros);
+  macros_by_week_[week] = std::move(macros);
+}
+
+void AtypicalForest::InstallMonth(int month,
+                                  std::vector<AtypicalCluster> macros) {
+  AdvanceIdsPast(macros);
+  macros_by_month_[month] = std::move(macros);
+}
+
+uint64_t AtypicalForest::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const auto& [_, micros] : micros_by_day_) {
+    for (const AtypicalCluster& c : micros) bytes += c.ByteSize();
+  }
+  for (const auto& [_, macros] : macros_by_week_) {
+    for (const AtypicalCluster& c : macros) bytes += c.ByteSize();
+  }
+  for (const auto& [_, macros] : macros_by_month_) {
+    for (const AtypicalCluster& c : macros) bytes += c.ByteSize();
+  }
+  return bytes;
+}
+
+}  // namespace atypical

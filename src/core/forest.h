@@ -1,0 +1,103 @@
+// The atypical forest (§III.C): per-day micro-clusters at the leaves,
+// optionally materialized weekly/monthly macro-cluster levels above them.
+//
+// The forest is the system's offline-constructed model.  Analytical queries
+// integrate leaf micro-clusters on demand (the paper's experiments
+// pre-compute only the daily micro-clusters); materialized levels exist for
+// larger deployments and are exercised by the materialization ablation.
+#ifndef ATYPICAL_CORE_FOREST_H_
+#define ATYPICAL_CORE_FOREST_H_
+
+#include <map>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/event_retrieval.h"
+#include "core/integration.h"
+#include "cps/record.h"
+#include "cps/sensor_network.h"
+
+namespace atypical {
+
+struct ForestParams {
+  RetrievalParams retrieval;
+  IntegrationParams integration;
+};
+
+class AtypicalForest {
+ public:
+  AtypicalForest(const SensorNetwork* network, const TimeGrid& grid,
+                 const ForestParams& params);
+
+  const TimeGrid& time_grid() const { return grid_; }
+  const ForestParams& params() const { return params_; }
+  ClusterIdGenerator* ids() { return &ids_; }
+
+  // Builds and stores the micro-clusters of one day.  `records` must all
+  // fall on `day`; days may arrive in any order but each day only once.
+  void AddDay(int day, const std::vector<AtypicalRecord>& records);
+
+  // Groups `records` by day and adds each day.
+  void AddRecords(const std::vector<AtypicalRecord>& records);
+
+  // Days present, ascending.
+  std::vector<int> Days() const;
+  bool HasDay(int day) const { return micros_by_day_.contains(day); }
+  const std::vector<AtypicalCluster>& MicrosOfDay(int day) const;
+
+  // Leaf micro-clusters whose day falls in `range` (ascending day order).
+  std::vector<const AtypicalCluster*> MicrosInRange(const DayRange& range) const;
+
+  // Micro-cluster severities by id over `range` (evaluation support).
+  std::map<ClusterId, double> MicroSeverities(const DayRange& range) const;
+
+  // Materializes week-level macro-clusters (time-of-day TF keys) for every
+  // complete set of stored days in each week.  Re-materializing replaces the
+  // level.  Returns the number of macro-clusters built.
+  size_t MaterializeWeeks();
+  // Same per `days_per_month`-day month.
+  size_t MaterializeMonths(int days_per_month);
+  // Month length used by MaterializeMonths; 0 when months were never
+  // materialized in this process (e.g. a freshly loaded forest).
+  int month_days() const { return month_days_; }
+
+  bool HasWeek(int week) const { return macros_by_week_.contains(week); }
+  const std::vector<AtypicalCluster>& MacrosOfWeek(int week) const;
+  bool HasMonth(int month) const { return macros_by_month_.contains(month); }
+  const std::vector<AtypicalCluster>& MacrosOfMonth(int month) const;
+  std::vector<int> MaterializedWeeks() const;
+  std::vector<int> MaterializedMonths() const;
+
+  // ---- persistence support (storage::LoadForest) ----
+  // Installs pre-built clusters directly, bypassing retrieval/integration.
+  // The id generator is advanced past every installed cluster id so new
+  // clusters never collide with persisted ones.
+  void InstallDay(int day, std::vector<AtypicalCluster> micros);
+  void InstallWeek(int week, std::vector<AtypicalCluster> macros);
+  void InstallMonth(int month, std::vector<AtypicalCluster> macros);
+
+  size_t num_micro_clusters() const { return num_micros_; }
+  uint64_t ByteSize() const;
+
+ private:
+  // Integrates the day-leaf micros of `range` after re-keying to
+  // time-of-day.
+  std::vector<AtypicalCluster> IntegrateRange(const DayRange& range);
+
+  // Moves the id generator past every id in `clusters`.
+  void AdvanceIdsPast(const std::vector<AtypicalCluster>& clusters);
+
+  const SensorNetwork* network_;
+  TimeGrid grid_;
+  ForestParams params_;
+  ClusterIdGenerator ids_;
+  std::map<int, std::vector<AtypicalCluster>> micros_by_day_;
+  std::map<int, std::vector<AtypicalCluster>> macros_by_week_;
+  std::map<int, std::vector<AtypicalCluster>> macros_by_month_;
+  size_t num_micros_ = 0;
+  int month_days_ = 0;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_FOREST_H_

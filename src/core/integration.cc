@@ -1,0 +1,152 @@
+#include "core/integration.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "core/merge.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace atypical {
+
+namespace {
+
+// Inverted index from feature keys to cluster slots, with lazy deletion
+// (dead slots are filtered by the caller's alive[] check).  Spatial and
+// temporal key spaces are disambiguated by a domain tag in the high bits.
+class CandidateIndex {
+ public:
+  explicit CandidateIndex(size_t num_slots) : last_seen_(num_slots, 0) {}
+
+  void AddKeys(const AtypicalCluster& cluster, uint32_t slot) {
+    for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
+      postings_[SpatialKey(e.key)].push_back(slot);
+    }
+    for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
+      postings_[TemporalKey(e.key)].push_back(slot);
+    }
+  }
+
+  // Collects slots sharing at least one key with `cluster`, excluding
+  // `self`, sorted ascending and deduplicated.
+  void Candidates(const AtypicalCluster& cluster, uint32_t self,
+                  const std::vector<bool>& alive,
+                  std::vector<uint32_t>* out) {
+    out->clear();
+    ++scan_id_;
+    auto visit = [&](uint64_t key) {
+      const auto it = postings_.find(key);
+      if (it == postings_.end()) return;
+      for (uint32_t slot : it->second) {
+        if (slot == self || !alive[slot]) continue;
+        if (last_seen_[slot] == scan_id_) continue;
+        last_seen_[slot] = scan_id_;
+        out->push_back(slot);
+      }
+    };
+    for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
+      visit(SpatialKey(e.key));
+    }
+    for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
+      visit(TemporalKey(e.key));
+    }
+    std::sort(out->begin(), out->end());
+  }
+
+ private:
+  static uint64_t SpatialKey(uint32_t key) { return key; }
+  static uint64_t TemporalKey(uint32_t key) {
+    return (1ULL << 32) | key;
+  }
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
+  std::vector<uint64_t> last_seen_;
+  uint64_t scan_id_ = 0;
+};
+
+}  // namespace
+
+std::vector<AtypicalCluster> IntegrateClusters(
+    std::vector<AtypicalCluster> clusters, const IntegrationParams& params,
+    ClusterIdGenerator* ids, IntegrationStats* stats) {
+  CHECK_GT(params.delta_sim, 0.0)
+      << "δsim must be positive (disjoint clusters have similarity 0)";
+  CHECK(ids != nullptr);
+  Stopwatch timer;
+
+  const size_t n = clusters.size();
+  for (size_t i = 1; i < n; ++i) {
+    CHECK(clusters[i].key_mode == clusters[0].key_mode)
+        << "all inputs must share one temporal key mode";
+  }
+
+  std::vector<bool> alive(n, true);
+  size_t similarity_checks = 0;
+  size_t merges = 0;
+
+  std::unique_ptr<CandidateIndex> index;
+  if (params.use_candidate_index) {
+    index = std::make_unique<CandidateIndex>(n);
+    for (size_t i = 0; i < n; ++i) {
+      index->AddKeys(clusters[i], static_cast<uint32_t>(i));
+    }
+  }
+
+  // Greedy absorb: for each slot in ascending order, repeatedly merge the
+  // lowest-numbered similar cluster into it until none qualifies, then move
+  // on.  Every merged result re-scans all alive slots, so the loop ends at
+  // the Algorithm 3 fixpoint ("until no clusters can be merged").
+  std::vector<uint32_t> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    bool merged_any = true;
+    while (merged_any) {
+      merged_any = false;
+      if (index != nullptr) {
+        index->Candidates(clusters[i], static_cast<uint32_t>(i), alive,
+                          &candidates);
+      } else {
+        candidates.clear();
+        for (size_t j = 0; j < n; ++j) {
+          if (j != i && alive[j]) candidates.push_back(static_cast<uint32_t>(j));
+        }
+      }
+      for (uint32_t j : candidates) {
+        ++similarity_checks;
+        if (Similarity(clusters[i], clusters[j], params.g) >
+            params.delta_sim) {
+          // Grow the cluster's key set; only j's keys can be new, and the
+          // postings for i's existing keys remain valid for the merged
+          // cluster, so index j's keys under slot i.
+          AtypicalCluster merged = MergeClusters(clusters[i], clusters[j], ids);
+          if (index != nullptr) {
+            index->AddKeys(clusters[j], static_cast<uint32_t>(i));
+          }
+          clusters[i] = std::move(merged);
+          alive[j] = false;
+          ++merges;
+          merged_any = true;
+          break;  // re-gather candidates for the grown cluster
+        }
+      }
+    }
+  }
+
+  std::vector<AtypicalCluster> out;
+  out.reserve(n - merges);
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) out.push_back(std::move(clusters[i]));
+  }
+
+  if (stats != nullptr) {
+    stats->input_clusters = n;
+    stats->output_clusters = out.size();
+    stats->similarity_checks = similarity_checks;
+    stats->merges = merges;
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace atypical

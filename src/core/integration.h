@@ -1,0 +1,43 @@
+// Algorithm 3: atypical cluster integration.
+//
+// Repeatedly merges cluster pairs whose similarity exceeds δsim until no
+// pair qualifies (a fixpoint; merge order does not matter for feature
+// correctness by Property 3, but hard clustering makes the partition itself
+// order-dependent, so this implementation fixes a deterministic greedy
+// order).  The accelerated path restricts candidate pairs to clusters
+// sharing at least one spatial or temporal key via an inverted index —
+// disjoint clusters have similarity 0 and can never exceed δsim > 0, so the
+// result is bit-identical to the naive quadratic scan (tested).
+#ifndef ATYPICAL_CORE_INTEGRATION_H_
+#define ATYPICAL_CORE_INTEGRATION_H_
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/similarity.h"
+
+namespace atypical {
+
+struct IntegrationParams {
+  double delta_sim = 0.5;  // paper default
+  BalanceFunction g = BalanceFunction::kArithmeticMean;  // paper default
+  bool use_candidate_index = true;
+};
+
+struct IntegrationStats {
+  size_t input_clusters = 0;
+  size_t output_clusters = 0;
+  size_t similarity_checks = 0;
+  size_t merges = 0;
+  double seconds = 0.0;
+};
+
+// Integrates `clusters` (consumed) into macro-clusters.  All inputs must
+// share one TemporalKeyMode.  δsim must be positive.
+std::vector<AtypicalCluster> IntegrateClusters(
+    std::vector<AtypicalCluster> clusters, const IntegrationParams& params,
+    ClusterIdGenerator* ids, IntegrationStats* stats = nullptr);
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_INTEGRATION_H_

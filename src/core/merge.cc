@@ -1,0 +1,39 @@
+#include "core/merge.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+AtypicalCluster MergeClusters(const AtypicalCluster& a,
+                              const AtypicalCluster& b,
+                              ClusterIdGenerator* ids) {
+  CHECK(a.key_mode == b.key_mode)
+      << "merging clusters with different temporal key modes";
+  CHECK(ids != nullptr);
+
+  AtypicalCluster out;
+  out.id = ids->Next();
+  out.spatial = FeatureVector::Merge(a.spatial, b.spatial);
+  out.temporal = FeatureVector::Merge(a.temporal, b.temporal);
+  out.key_mode = a.key_mode;
+
+  out.micro_ids.reserve(a.micro_ids.size() + b.micro_ids.size());
+  out.micro_ids = a.micro_ids;
+  out.micro_ids.insert(out.micro_ids.end(), b.micro_ids.begin(),
+                       b.micro_ids.end());
+  std::sort(out.micro_ids.begin(), out.micro_ids.end());
+
+  out.left_child = a.id;
+  out.right_child = b.id;
+  out.first_day = std::min(a.first_day, b.first_day);
+  out.last_day = std::max(a.last_day, b.last_day);
+  out.num_records = a.num_records + b.num_records;
+  out.dominant_true_event = a.severity() >= b.severity()
+                                ? a.dominant_true_event
+                                : b.dominant_true_event;
+  return out;
+}
+
+}  // namespace atypical

@@ -1,0 +1,23 @@
+// Algorithm 2: merging two atypical clusters into a macro-cluster.
+//
+// SF and TF merge per Eq. 5/6 (common keys accumulate severity, the rest
+// carry over) and the result gets a fresh id.  The operation is commutative
+// and associative (Property 3) and runs in O(|SF1|+|SF2|+|TF1|+|TF2|)
+// (Proposition 2).
+#ifndef ATYPICAL_CORE_MERGE_H_
+#define ATYPICAL_CORE_MERGE_H_
+
+#include "core/cluster.h"
+
+namespace atypical {
+
+// Merges `a` and `b`.  Both clusters must use the same TemporalKeyMode.
+// Metadata is combined: micro_ids union, day span union, record counts sum,
+// children set to (a.id, b.id).
+AtypicalCluster MergeClusters(const AtypicalCluster& a,
+                              const AtypicalCluster& b,
+                              ClusterIdGenerator* ids);
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_MERGE_H_

@@ -1,0 +1,204 @@
+#include "core/query.h"
+
+#include <unordered_set>
+
+#include "core/temporal_key.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace atypical {
+
+const char* QueryStrategyName(QueryStrategy strategy) {
+  switch (strategy) {
+    case QueryStrategy::kAll:
+      return "All";
+    case QueryStrategy::kPrune:
+      return "Pru";
+    case QueryStrategy::kGuided:
+      return "Gui";
+  }
+  return "unknown";
+}
+
+QueryEngine::QueryEngine(const SensorNetwork* network,
+                         const SpatialPartition* regions,
+                         AtypicalForest* forest,
+                         const cube::BottomUpCube* atypical_cube,
+                         const QueryEngineOptions& options)
+    : network_(network),
+      regions_(regions),
+      forest_(forest),
+      atypical_cube_(atypical_cube),
+      options_(options) {
+  CHECK(network != nullptr);
+  CHECK(regions != nullptr);
+  CHECK(forest != nullptr);
+  CHECK(atypical_cube != nullptr);
+}
+
+double QueryEngine::ThresholdFor(const AnalyticalQuery& query) const {
+  const int n = static_cast<int>(network_->SensorsInRect(query.area).size());
+  return SignificanceThreshold(options_.significance, query.days,
+                               forest_->time_grid(), n);
+}
+
+void QueryEngine::FilterToArea(const std::vector<SensorId>& sensors_in_w,
+                               std::vector<AtypicalCluster>* inputs) {
+  const std::unordered_set<SensorId> w_set(sensors_in_w.begin(),
+                                           sensors_in_w.end());
+  std::vector<AtypicalCluster> kept;
+  kept.reserve(inputs->size());
+  for (AtypicalCluster& c : *inputs) {
+    for (const FeatureVector::Entry& e : c.spatial.entries()) {
+      if (w_set.contains(e.key)) {
+        kept.push_back(std::move(c));
+        break;
+      }
+    }
+  }
+  *inputs = std::move(kept);
+}
+
+std::vector<AtypicalCluster> QueryEngine::CollectPlannedInputs(
+    const AnalyticalQuery& query, QueryCost* cost) const {
+  const DayRange& range = query.days;
+  std::vector<bool> covered(std::max(0, range.NumDays()), false);
+  auto cover = [&](int first, int last) {
+    for (int day = first; day <= last; ++day) {
+      covered[day - range.first_day] = true;
+    }
+  };
+  auto all_uncovered = [&](int first, int last) {
+    if (first < range.first_day || last > range.last_day) return false;
+    for (int day = first; day <= last; ++day) {
+      if (covered[day - range.first_day]) return false;
+    }
+    return true;
+  };
+
+  std::vector<AtypicalCluster> inputs;
+  // Months first (largest pre-integrated units), then weeks.
+  if (forest_->month_days() > 0) {
+    for (int month : forest_->MaterializedMonths()) {
+      const int first = month * forest_->month_days();
+      const int last = first + forest_->month_days() - 1;
+      if (!all_uncovered(first, last)) continue;
+      for (const AtypicalCluster& c : forest_->MacrosOfMonth(month)) {
+        inputs.push_back(c);
+      }
+      cover(first, last);
+      cost->materialized_inputs += forest_->MacrosOfMonth(month).size();
+      cost->days_from_materialized += last - first + 1;
+    }
+  }
+  for (int week : forest_->MaterializedWeeks()) {
+    const int first = week * 7;
+    const int last = first + 6;
+    if (!all_uncovered(first, last)) continue;
+    for (const AtypicalCluster& c : forest_->MacrosOfWeek(week)) {
+      inputs.push_back(c);
+    }
+    cover(first, last);
+    cost->materialized_inputs += forest_->MacrosOfWeek(week).size();
+    cost->days_from_materialized += 7;
+  }
+  // Leaf days for the remainder.
+  for (int day = range.first_day; day <= range.last_day; ++day) {
+    if (covered[day - range.first_day] || !forest_->HasDay(day)) continue;
+    for (const AtypicalCluster& micro : forest_->MicrosOfDay(day)) {
+      ++cost->micro_clusters_in_range;
+      inputs.push_back(WithTemporalKeyMode(micro, forest_->time_grid(),
+                                           TemporalKeyMode::kTimeOfDay));
+    }
+  }
+  FilterToArea(network_->SensorsInRect(query.area), &inputs);
+  return inputs;
+}
+
+std::vector<AtypicalCluster> QueryEngine::CollectMicros(
+    const AnalyticalQuery& query, QueryCost* cost) const {
+  const std::vector<SensorId> in_w = network_->SensorsInRect(query.area);
+  const std::unordered_set<SensorId> w_set(in_w.begin(), in_w.end());
+
+  std::vector<AtypicalCluster> micros;
+  for (const AtypicalCluster* micro : forest_->MicrosInRange(query.days)) {
+    ++cost->micro_clusters_in_range;
+    // A micro-cluster belongs to the query if it touches W at all; events
+    // straddling the boundary keep their full features (their severity must
+    // stay exact for Def. 5 to be meaningful).
+    bool touches = false;
+    for (const FeatureVector::Entry& e : micro->spatial.entries()) {
+      if (w_set.contains(e.key)) {
+        touches = true;
+        break;
+      }
+    }
+    if (touches) {
+      micros.push_back(WithTemporalKeyMode(*micro, forest_->time_grid(),
+                                           TemporalKeyMode::kTimeOfDay));
+    }
+  }
+  return micros;
+}
+
+QueryResult QueryEngine::Run(const AnalyticalQuery& query,
+                             QueryStrategy strategy) const {
+  Stopwatch timer;
+  QueryResult result;
+  const std::vector<SensorId> in_w = network_->SensorsInRect(query.area);
+  result.num_sensors_in_w = static_cast<int>(in_w.size());
+  result.threshold =
+      SignificanceThreshold(options_.significance, query.days,
+                            forest_->time_grid(), result.num_sensors_in_w);
+
+  // Pru/Gui prune at micro granularity, so the materialized plan is only
+  // sound for All.
+  const bool planned =
+      options_.use_materialized_levels && strategy == QueryStrategy::kAll;
+  std::vector<AtypicalCluster> micros =
+      planned ? CollectPlannedInputs(query, &result.cost)
+              : CollectMicros(query, &result.cost);
+
+  switch (strategy) {
+    case QueryStrategy::kAll:
+      break;
+    case QueryStrategy::kPrune: {
+      // Beforehand pruning: only micro-clusters that already clear the
+      // query's significance bar are integrated.
+      std::vector<AtypicalCluster> kept;
+      kept.reserve(micros.size());
+      for (AtypicalCluster& m : micros) {
+        if (IsSignificant(m, result.threshold)) kept.push_back(std::move(m));
+      }
+      micros = std::move(kept);
+      break;
+    }
+    case QueryStrategy::kGuided: {
+      // Algorithm 4 lines 1–3: red zones from the bottom-up measure.
+      const std::vector<RegionId> regions_in_w =
+          regions_->RegionsInRect(query.area);
+      result.cost.regions_checked = regions_in_w.size();
+      const std::vector<RegionId> red = cube::ComputeRedZones(
+          *atypical_cube_, regions_in_w, query.days, result.threshold);
+      result.cost.red_zones = red.size();
+      micros = cube::FilterByRedZones(std::move(micros), red, *regions_,
+                                      options_.red_zone_mode);
+      break;
+    }
+  }
+
+  result.cost.input_micro_clusters = micros.size();
+  result.clusters = IntegrateClusters(std::move(micros), options_.integration,
+                                      forest_->ids(),
+                                      &result.cost.integration);
+
+  if (options_.post_check_significance) {
+    // Algorithm 4 lines 5–7: remove false positives.
+    result.clusters = FilterSignificant(result.clusters, result.threshold);
+  }
+
+  result.cost.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace atypical

@@ -1,0 +1,71 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+const char* BalanceFunctionName(BalanceFunction g) {
+  switch (g) {
+    case BalanceFunction::kMax:
+      return "max";
+    case BalanceFunction::kMin:
+      return "min";
+    case BalanceFunction::kArithmeticMean:
+      return "avg";
+    case BalanceFunction::kGeometricMean:
+      return "geo";
+    case BalanceFunction::kHarmonicMean:
+      return "har";
+  }
+  return "unknown";
+}
+
+double Balance(BalanceFunction g, double p1, double p2) {
+  switch (g) {
+    case BalanceFunction::kMax:
+      return std::max(p1, p2);
+    case BalanceFunction::kMin:
+      return std::min(p1, p2);
+    case BalanceFunction::kArithmeticMean:
+      return 0.5 * (p1 + p2);
+    case BalanceFunction::kGeometricMean:
+      return std::sqrt(p1 * p2);
+    case BalanceFunction::kHarmonicMean:
+      return p1 + p2 > 0.0 ? 2.0 * p1 * p2 / (p1 + p2) : 0.0;
+  }
+  LOG(FATAL) << "unknown BalanceFunction";
+  return 0.0;
+}
+
+namespace {
+
+double FeatureSimilarity(const FeatureVector& f1, const FeatureVector& f2,
+                         BalanceFunction g) {
+  if (f1.total() <= 0.0 || f2.total() <= 0.0) return 0.0;
+  const auto [common1, common2] = f1.CommonSeverity(f2);
+  return Balance(g, common1 / f1.total(), common2 / f2.total());
+}
+
+}  // namespace
+
+double SpatialSimilarity(const AtypicalCluster& c1, const AtypicalCluster& c2,
+                         BalanceFunction g) {
+  return FeatureSimilarity(c1.spatial, c2.spatial, g);
+}
+
+double TemporalSimilarity(const AtypicalCluster& c1, const AtypicalCluster& c2,
+                          BalanceFunction g) {
+  CHECK(c1.key_mode == c2.key_mode)
+      << "temporal similarity across different key modes is meaningless";
+  return FeatureSimilarity(c1.temporal, c2.temporal, g);
+}
+
+double Similarity(const AtypicalCluster& c1, const AtypicalCluster& c2,
+                  BalanceFunction g) {
+  return 0.5 * (SpatialSimilarity(c1, c2, g) + TemporalSimilarity(c1, c2, g));
+}
+
+}  // namespace atypical

@@ -1,0 +1,126 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+StreamingEventBuilder::StreamingEventBuilder(const SensorNetwork* network,
+                                             const TimeGrid& grid,
+                                             const RetrievalParams& params,
+                                             ClusterIdGenerator* ids,
+                                             EmitFn emit)
+    : network_(network),
+      grid_(grid),
+      params_(params),
+      ids_(ids),
+      emit_(std::move(emit)) {
+  CHECK(network != nullptr);
+  CHECK(ids != nullptr);
+  CHECK(emit_ != nullptr);
+  CHECK_GT(params.delta_d_miles, 0.0);
+  CHECK_GT(params.delta_t_minutes, 0);
+}
+
+bool StreamingEventBuilder::Related(const AtypicalRecord& a,
+                                    const AtypicalRecord& b) const {
+  if (grid_.IntervalMinutes(a.window, b.window) >= params_.delta_t_minutes) {
+    return false;
+  }
+  return network_->Distance(a.sensor, b.sensor, params_.metric) <
+         params_.delta_d_miles;
+}
+
+void StreamingEventBuilder::Add(const AtypicalRecord& record) {
+  CHECK_GE(record.window, last_seen_window_)
+      << "stream must be fed in non-decreasing window order";
+  last_seen_window_ = record.window;
+  ++records_seen_;
+  CloseExpired(record.window);
+
+  // Find every open event the record relates to.  Within an event, records
+  // are stored in arrival (window) order, so scanning from the back stops
+  // as soon as the temporal gap reaches δt.
+  std::vector<std::list<OpenEvent>::iterator> matches;
+  for (auto it = open_.begin(); it != open_.end(); ++it) {
+    for (auto r = it->records.rbegin(); r != it->records.rend(); ++r) {
+      if (grid_.IntervalMinutes(record.window, r->window) >=
+          params_.delta_t_minutes) {
+        break;  // everything earlier is even further away in time
+      }
+      if (Related(record, *r)) {
+        matches.push_back(it);
+        break;
+      }
+    }
+  }
+
+  if (matches.empty()) {
+    OpenEvent fresh;
+    fresh.records.push_back(record);
+    fresh.last_window = record.window;
+    open_.push_back(std::move(fresh));
+    return;
+  }
+
+  // The record bridges all matching events into one (Def. 2 transitivity).
+  OpenEvent& target = *matches.front();
+  for (size_t i = 1; i < matches.size(); ++i) {
+    OpenEvent& victim = *matches[i];
+    target.records.insert(target.records.end(), victim.records.begin(),
+                          victim.records.end());
+    target.last_window = std::max(target.last_window, victim.last_window);
+    open_.erase(matches[i]);
+  }
+  // Keep window order within the event (merge disturbed it).
+  if (matches.size() > 1) {
+    std::sort(target.records.begin(), target.records.end(),
+              [](const AtypicalRecord& a, const AtypicalRecord& b) {
+                return a.window < b.window;
+              });
+  }
+  target.records.push_back(record);
+  target.last_window = std::max(target.last_window, record.window);
+}
+
+void StreamingEventBuilder::CloseExpired(WindowId window) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    // A future record has window >= `window`; if even `window` is already
+    // δt away from the event's newest record, nothing can relate anymore.
+    if (grid_.IntervalMinutes(it->last_window, window) >=
+        params_.delta_t_minutes) {
+      Emit(*it);
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StreamingEventBuilder::Emit(OpenEvent& event) {
+  std::vector<size_t> all(event.records.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  emit_(BuildMicroCluster(event.records, all, grid_, ids_));
+}
+
+void StreamingEventBuilder::Flush() {
+  for (OpenEvent& event : open_) Emit(event);
+  open_.clear();
+}
+
+std::vector<AtypicalCluster> StreamMicroClusters(
+    const std::vector<AtypicalRecord>& records, const SensorNetwork& network,
+    const TimeGrid& grid, const RetrievalParams& params,
+    ClusterIdGenerator* ids) {
+  std::vector<AtypicalCluster> out;
+  StreamingEventBuilder builder(
+      &network, grid, params, ids,
+      [&out](AtypicalCluster cluster) { out.push_back(std::move(cluster)); });
+  for (const AtypicalRecord& r : records) builder.Add(r);
+  builder.Flush();
+  return out;
+}
+
+}  // namespace atypical

@@ -1,0 +1,83 @@
+// Streaming event retrieval: the online counterpart of Algorithm 1.
+//
+// A CPS produces atypical records continuously in window order.  Instead of
+// re-running batch retrieval, `StreamingEventBuilder` maintains the set of
+// *open* events: records are appended as they arrive; two open events merge
+// when a new record relates to both; an event closes once no future record
+// can relate to any of its records (the stream has advanced past its last
+// record's window by δt plus one window), at which point its micro-cluster
+// is emitted.
+//
+// Invariant (tested): feeding a day's records in window order yields exactly
+// the events of batch RetrieveEvents — the connected components of Def. 3
+// do not depend on discovery order.
+#ifndef ATYPICAL_CORE_STREAMING_H_
+#define ATYPICAL_CORE_STREAMING_H_
+
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/event_retrieval.h"
+#include "cps/record.h"
+#include "cps/sensor_network.h"
+
+namespace atypical {
+
+class StreamingEventBuilder {
+ public:
+  // Called with the finished micro-cluster of each closed event, in closing
+  // order.
+  using EmitFn = std::function<void(AtypicalCluster)>;
+
+  StreamingEventBuilder(const SensorNetwork* network, const TimeGrid& grid,
+                        const RetrievalParams& params,
+                        ClusterIdGenerator* ids, EmitFn emit);
+
+  // Feeds one record.  Records must arrive in non-decreasing window order
+  // (the natural order of a CPS feed); violating this dies.
+  void Add(const AtypicalRecord& record);
+
+  // Number of events currently open (awaiting possible growth).
+  size_t open_events() const { return open_.size(); }
+
+  // Total records fed so far.
+  size_t records_seen() const { return records_seen_; }
+
+  // Closes every open event regardless of window distance (end of stream).
+  void Flush();
+
+ private:
+  struct OpenEvent {
+    std::vector<AtypicalRecord> records;
+    WindowId last_window = 0;  // max window of any record
+  };
+
+  // Emits and removes events that can no longer grow given the stream has
+  // reached `window`.
+  void CloseExpired(WindowId window);
+  void Emit(OpenEvent& event);
+
+  bool Related(const AtypicalRecord& a, const AtypicalRecord& b) const;
+
+  const SensorNetwork* network_;
+  TimeGrid grid_;
+  RetrievalParams params_;
+  ClusterIdGenerator* ids_;
+  EmitFn emit_;
+  std::list<OpenEvent> open_;
+  WindowId last_seen_window_ = 0;
+  size_t records_seen_ = 0;
+};
+
+// Convenience: streams `records` (sorted by window) through a builder and
+// returns all micro-clusters (events ordered by closing time).
+std::vector<AtypicalCluster> StreamMicroClusters(
+    const std::vector<AtypicalRecord>& records, const SensorNetwork& network,
+    const TimeGrid& grid, const RetrievalParams& params,
+    ClusterIdGenerator* ids);
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_STREAMING_H_

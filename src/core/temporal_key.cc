@@ -1,0 +1,37 @@
+#include "core/temporal_key.h"
+
+#include "util/logging.h"
+
+namespace atypical {
+
+uint32_t TemporalKey(WindowId window, const TimeGrid& grid,
+                     TemporalKeyMode mode) {
+  switch (mode) {
+    case TemporalKeyMode::kAbsolute:
+      return window;
+    case TemporalKeyMode::kTimeOfDay:
+      return static_cast<uint32_t>(grid.WindowOfDay(window));
+  }
+  LOG(FATAL) << "unknown TemporalKeyMode";
+  return 0;
+}
+
+AtypicalCluster WithTemporalKeyMode(const AtypicalCluster& cluster,
+                                    const TimeGrid& grid,
+                                    TemporalKeyMode mode) {
+  if (cluster.key_mode == mode) return cluster;
+  CHECK(cluster.key_mode == TemporalKeyMode::kAbsolute)
+      << "cannot recover absolute windows from time-of-day keys";
+
+  AtypicalCluster out = cluster;
+  FeatureVector rekeyed;
+  for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
+    rekeyed.Add(TemporalKey(static_cast<WindowId>(e.key), grid, mode),
+                e.severity);
+  }
+  out.temporal = std::move(rekeyed);
+  out.key_mode = mode;
+  return out;
+}
+
+}  // namespace atypical

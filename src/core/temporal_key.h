@@ -1,0 +1,31 @@
+// Temporal feature keying.
+//
+// Micro-clusters summarize one event and key TF by absolute window id.  For
+// cross-day integration (daily micros → weekly/monthly macros) windows of
+// different days must be comparable, so TF is re-keyed to the window-of-day:
+// the paper's Fig. 5 lists temporal features as clock times without dates,
+// and its motivating merge ("the 10E freeway often jams ... in the evening
+// rush hours") only works with time-of-day keys.
+#ifndef ATYPICAL_CORE_TEMPORAL_KEY_H_
+#define ATYPICAL_CORE_TEMPORAL_KEY_H_
+
+#include "core/cluster.h"
+#include "cps/types.h"
+
+namespace atypical {
+
+// Maps an absolute window to its key under `mode`.
+uint32_t TemporalKey(WindowId window, const TimeGrid& grid,
+                     TemporalKeyMode mode);
+
+// Returns a copy of `cluster` with TF re-keyed under `mode` (severities of
+// windows mapping to the same key accumulate).  Total severity, SF and
+// metadata are unchanged.  Re-keying kTimeOfDay -> kAbsolute is impossible
+// (information was discarded) and dies.
+AtypicalCluster WithTemporalKeyMode(const AtypicalCluster& cluster,
+                                    const TimeGrid& grid,
+                                    TemporalKeyMode mode);
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_TEMPORAL_KEY_H_

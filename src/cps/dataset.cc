@@ -1,0 +1,36 @@
+#include "cps/dataset.h"
+
+namespace atypical {
+
+int64_t Dataset::num_atypical() const {
+  int64_t count = 0;
+  for (const Reading& r : readings_) {
+    if (r.is_atypical()) ++count;
+  }
+  return count;
+}
+
+double Dataset::atypical_fraction() const {
+  if (readings_.empty()) return 0.0;
+  return static_cast<double>(num_atypical()) /
+         static_cast<double>(readings_.size());
+}
+
+double Dataset::total_severity_minutes() const {
+  double total = 0.0;
+  for (const Reading& r : readings_) total += r.atypical_minutes;
+  return total;
+}
+
+std::vector<AtypicalRecord> Dataset::ExtractAtypicalRecords() const {
+  std::vector<AtypicalRecord> out;
+  for (const Reading& r : readings_) {
+    if (r.is_atypical()) {
+      out.push_back(AtypicalRecord{r.sensor, r.window, r.atypical_minutes,
+                                   r.true_event});
+    }
+  }
+  return out;
+}
+
+}  // namespace atypical

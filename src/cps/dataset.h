@@ -1,0 +1,72 @@
+// In-memory CPS dataset: the readings of one month (one of the paper's D1..
+// D12 datasets), plus derived views.
+#ifndef ATYPICAL_CPS_DATASET_H_
+#define ATYPICAL_CPS_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cps/record.h"
+#include "cps/types.h"
+
+namespace atypical {
+
+// Dataset identity and shape.  `first_day` is the absolute day index of the
+// month's first day, so WindowIds are globally comparable across months.
+struct DatasetMeta {
+  int month_index = 0;      // 0-based month number (paper's D1..D12)
+  int first_day = 0;        // absolute day of the first day of the month
+  int num_days = 28;
+  int num_sensors = 0;
+  TimeGrid time_grid;
+  std::string name;         // e.g. "D1"
+
+  int64_t TotalWindows() const {
+    return static_cast<int64_t>(num_days) * time_grid.WindowsPerDay();
+  }
+  int64_t ExpectedReadings() const {
+    return TotalWindows() * num_sensors;
+  }
+  DayRange Days() const {
+    return DayRange{first_day, first_day + num_days - 1};
+  }
+};
+
+// One month of raw readings, ordered by (window, sensor).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(DatasetMeta meta, std::vector<Reading> readings)
+      : meta_(std::move(meta)), readings_(std::move(readings)) {}
+
+  const DatasetMeta& meta() const { return meta_; }
+  const std::vector<Reading>& readings() const { return readings_; }
+  std::vector<Reading>& mutable_readings() { return readings_; }
+
+  int64_t num_readings() const {
+    return static_cast<int64_t>(readings_.size());
+  }
+  int64_t num_atypical() const;
+  double atypical_fraction() const;
+
+  // Sum of atypical minutes over all readings (the month's total severity
+  // budget; used to sanity-check significance thresholds).
+  double total_severity_minutes() const;
+
+  // Extracts the paper's atypical records (s, t, f(s,t)) — the
+  // pre-processing step PR in §V.A.
+  std::vector<AtypicalRecord> ExtractAtypicalRecords() const;
+
+  // In-memory size of the raw readings in bytes (used by the Fig. 16 model
+  // size comparison).
+  uint64_t ByteSize() const { return readings_.size() * sizeof(Reading); }
+
+ private:
+  DatasetMeta meta_;
+  std::vector<Reading> readings_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CPS_DATASET_H_

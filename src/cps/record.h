@@ -1,0 +1,47 @@
+// Record types flowing through the system.
+//
+// A `Reading` is the raw sensor report for one time window (the full CPS
+// dataset stores one per sensor per window).  An `AtypicalRecord` is the
+// paper's (s, t, f(s,t)) triple: only the windows in which the sensor was
+// atypical, with the atypical duration as the severity measure.
+#ifndef ATYPICAL_CPS_RECORD_H_
+#define ATYPICAL_CPS_RECORD_H_
+
+#include <cstdint>
+
+#include "cps/types.h"
+
+namespace atypical {
+
+// One raw report from one sensor for one time window.
+struct Reading {
+  SensorId sensor = kInvalidSensor;
+  WindowId window = 0;
+  float speed_mph = 0.0f;       // mean vehicle speed observed in the window
+  float occupancy = 0.0f;       // fraction of window the loop was occupied
+  float atypical_minutes = 0.0f;  // minutes of atypical (congested) state
+  // Ground-truth label attached by the synthetic generator: id of the
+  // congestion event responsible for the atypical minutes, kNoEvent if none.
+  // Real deployments do not have this field; it is used only for generator
+  // validation and is never read by the core algorithms.
+  EventId true_event = kNoEvent;
+
+  bool is_atypical() const { return atypical_minutes > 0.0f; }
+};
+
+// The paper's atypical record (s, t, f(s, t)).
+struct AtypicalRecord {
+  SensorId sensor = kInvalidSensor;
+  WindowId window = 0;
+  float severity_minutes = 0.0f;
+  EventId true_event = kNoEvent;  // generator label, see Reading::true_event
+
+  friend bool operator==(const AtypicalRecord& a, const AtypicalRecord& b) {
+    return a.sensor == b.sensor && a.window == b.window &&
+           a.severity_minutes == b.severity_minutes;
+  }
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CPS_RECORD_H_

@@ -1,0 +1,122 @@
+#include "cps/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace atypical {
+
+namespace {
+
+// Polyline sampling step in miles; fine enough that linear interpolation
+// between way points stays well under sensor spacing.
+constexpr double kSampleStepMiles = 0.5;
+
+double PolylineLength(const std::vector<GeoPoint>& points) {
+  double length = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    length += DistanceMiles(points[i - 1], points[i]);
+  }
+  return length;
+}
+
+}  // namespace
+
+GeoPoint Highway::PointAtMile(double mile) const {
+  CHECK(!polyline.empty());
+  if (mile <= 0.0) return polyline.front();
+  double remaining = mile;
+  for (size_t i = 1; i < polyline.size(); ++i) {
+    const double seg = DistanceMiles(polyline[i - 1], polyline[i]);
+    if (remaining <= seg && seg > 0.0) {
+      const double t = remaining / seg;
+      return GeoPoint{polyline[i - 1].x + t * (polyline[i].x - polyline[i - 1].x),
+                      polyline[i - 1].y + t * (polyline[i].y - polyline[i - 1].y)};
+    }
+    remaining -= seg;
+  }
+  return polyline.back();
+}
+
+RoadNetwork RoadNetwork::Generate(const RoadNetworkConfig& config) {
+  CHECK_GT(config.num_highways, 0);
+  CHECK_GT(config.area_width_miles, 0.0);
+  CHECK_GT(config.area_height_miles, 0.0);
+
+  RoadNetwork network;
+  network.bounds_ = GeoRect{0.0, 0.0, config.area_width_miles,
+                            config.area_height_miles};
+  Rng rng(config.seed);
+
+  const double w = config.area_width_miles;
+  const double h = config.area_height_miles;
+
+  for (int i = 0; i < config.num_highways; ++i) {
+    Highway hw;
+    hw.id = static_cast<HighwayId>(i);
+
+    // Orientation mix: ~40% east-west, ~40% north-south, ~20% diagonal —
+    // a rough grid like the LA freeway system.
+    const double orientation = rng.Uniform();
+    GeoPoint start, end;
+    char axis;
+    if (orientation < 0.4) {
+      axis = 'E';
+      const double y = rng.Uniform(0.05 * h, 0.95 * h);
+      start = GeoPoint{0.0, y};
+      end = GeoPoint{w, std::clamp(y + rng.Uniform(-0.15, 0.15) * h, 0.0, h)};
+    } else if (orientation < 0.8) {
+      axis = 'N';
+      const double x = rng.Uniform(0.05 * w, 0.95 * w);
+      start = GeoPoint{x, 0.0};
+      end = GeoPoint{std::clamp(x + rng.Uniform(-0.15, 0.15) * w, 0.0, w), h};
+    } else {
+      axis = 'D';
+      // Diagonal: corner-ish to corner-ish.
+      const bool rising = rng.Bernoulli(0.5);
+      start = GeoPoint{rng.Uniform(0.0, 0.2 * w),
+                       rising ? rng.Uniform(0.0, 0.3 * h)
+                              : rng.Uniform(0.7 * h, h)};
+      end = GeoPoint{rng.Uniform(0.8 * w, w),
+                     rising ? rng.Uniform(0.7 * h, h)
+                            : rng.Uniform(0.0, 0.3 * h)};
+    }
+    hw.name = StrPrintf("I-%d%c", 2 + i * 3, axis);
+
+    // Sample a gently curved path: straight line plus a low-frequency sine
+    // offset perpendicular to the direction of travel.
+    const double straight = DistanceMiles(start, end);
+    const int steps = std::max(2, static_cast<int>(straight / kSampleStepMiles));
+    const double amplitude = config.curvature * straight *
+                             rng.Uniform(0.3, 1.0);
+    const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+    const double cycles = rng.Uniform(0.5, 1.5);
+    const double dx = (end.x - start.x) / straight;
+    const double dy = (end.y - start.y) / straight;
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      const double offset =
+          amplitude * std::sin(phase + t * cycles * 2.0 * M_PI) *
+          std::sin(t * M_PI);  // taper so ends stay put
+      GeoPoint p{start.x + t * (end.x - start.x) - dy * offset,
+                 start.y + t * (end.y - start.y) + dx * offset};
+      p.x = std::clamp(p.x, 0.0, w);
+      p.y = std::clamp(p.y, 0.0, h);
+      hw.polyline.push_back(p);
+    }
+    hw.length_miles = PolylineLength(hw.polyline);
+    network.total_length_miles_ += hw.length_miles;
+    network.highways_.push_back(std::move(hw));
+  }
+  return network;
+}
+
+const Highway& RoadNetwork::highway(HighwayId id) const {
+  CHECK_LT(static_cast<size_t>(id), highways_.size());
+  return highways_[id];
+}
+
+}  // namespace atypical

@@ -1,0 +1,57 @@
+// Procedural highway map.
+//
+// The paper's data covers 38 highways in the Los Angeles / Ventura area.  We
+// synthesize a comparable planar map: a mix of east-west, north-south and
+// diagonal highways with gentle curvature crossing a rectangular area, so
+// congestion events can propagate along realistic 1-D corridors embedded in
+// 2-D space.
+#ifndef ATYPICAL_CPS_ROAD_NETWORK_H_
+#define ATYPICAL_CPS_ROAD_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "cps/types.h"
+
+namespace atypical {
+
+// One highway: a polyline sampled at roughly uniform arc length.
+struct Highway {
+  HighwayId id = 0;
+  std::string name;                // e.g. "I-3E"
+  std::vector<GeoPoint> polyline;  // ordered way points
+  double length_miles = 0.0;
+
+  // Interpolated point at the given mile post along the polyline.
+  GeoPoint PointAtMile(double mile) const;
+};
+
+struct RoadNetworkConfig {
+  int num_highways = 38;
+  double area_width_miles = 60.0;
+  double area_height_miles = 40.0;
+  // Curvature amplitude as a fraction of the crossing span.
+  double curvature = 0.06;
+  uint64_t seed = 7;
+};
+
+// The full highway map of the synthetic metropolitan area.
+class RoadNetwork {
+ public:
+  // Procedurally builds `config.num_highways` highways.
+  static RoadNetwork Generate(const RoadNetworkConfig& config);
+
+  const std::vector<Highway>& highways() const { return highways_; }
+  const Highway& highway(HighwayId id) const;
+  GeoRect bounds() const { return bounds_; }
+  double total_length_miles() const { return total_length_miles_; }
+
+ private:
+  std::vector<Highway> highways_;
+  GeoRect bounds_;
+  double total_length_miles_ = 0.0;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CPS_ROAD_NETWORK_H_

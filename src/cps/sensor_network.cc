@@ -1,0 +1,99 @@
+#include "cps/sensor_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+const char* DistanceMetricName(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return "euclidean";
+    case DistanceMetric::kRoadNetwork:
+      return "road";
+  }
+  return "unknown";
+}
+
+SensorNetwork SensorNetwork::Place(const RoadNetwork& roads,
+                                   const SensorNetworkConfig& config) {
+  CHECK_GT(config.target_num_sensors, 0);
+  CHECK(!roads.highways().empty());
+
+  SensorNetwork network;
+  network.bounds_ = roads.bounds();
+  network.spacing_miles_ =
+      roads.total_length_miles() / config.target_num_sensors;
+  CHECK_GT(network.spacing_miles_, 0.0);
+
+  network.by_highway_.resize(roads.highways().size());
+  for (const Highway& hw : roads.highways()) {
+    // One sensor every `spacing` miles, centered within the highway so both
+    // ends get similar coverage.
+    const int count =
+        std::max(1, static_cast<int>(hw.length_miles / network.spacing_miles_));
+    const double step = hw.length_miles / count;
+    SensorId prev = kInvalidSensor;
+    for (int i = 0; i < count; ++i) {
+      const double mile = (i + 0.5) * step;
+      Sensor s;
+      s.id = static_cast<SensorId>(network.sensors_.size());
+      s.location = hw.PointAtMile(mile);
+      s.highway = hw.id;
+      s.mile_post = mile;
+      s.upstream = prev;
+      if (prev != kInvalidSensor) network.sensors_[prev].downstream = s.id;
+      prev = s.id;
+      network.by_highway_[hw.id].push_back(s.id);
+      network.sensors_.push_back(s);
+    }
+  }
+  return network;
+}
+
+const Sensor& SensorNetwork::sensor(SensorId id) const {
+  CHECK_LT(static_cast<size_t>(id), sensors_.size());
+  return sensors_[id];
+}
+
+const std::vector<SensorId>& SensorNetwork::SensorsOnHighway(
+    HighwayId highway) const {
+  CHECK_LT(static_cast<size_t>(highway), by_highway_.size());
+  return by_highway_[highway];
+}
+
+std::vector<SensorId> SensorNetwork::SensorsNear(const GeoPoint& center,
+                                                 double radius_miles) const {
+  std::vector<SensorId> out;
+  for (const Sensor& s : sensors_) {
+    if (DistanceMiles(s.location, center) <= radius_miles) out.push_back(s.id);
+  }
+  return out;
+}
+
+double SensorNetwork::Distance(SensorId a, SensorId b,
+                               DistanceMetric metric) const {
+  const Sensor& sa = sensor(a);
+  const Sensor& sb = sensor(b);
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return DistanceMiles(sa.location, sb.location);
+    case DistanceMetric::kRoadNetwork:
+      if (sa.highway != sb.highway) return HUGE_VAL;
+      return std::abs(sa.mile_post - sb.mile_post);
+  }
+  LOG(FATAL) << "unknown DistanceMetric";
+  return HUGE_VAL;
+}
+
+std::vector<SensorId> SensorNetwork::SensorsInRect(const GeoRect& rect) const {
+  std::vector<SensorId> out;
+  for (const Sensor& s : sensors_) {
+    if (rect.Contains(s.location)) out.push_back(s.id);
+  }
+  return out;
+}
+
+}  // namespace atypical

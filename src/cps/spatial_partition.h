@@ -1,0 +1,41 @@
+// Abstract pre-defined spatial partition.
+//
+// The paper's bottom-up aggregation runs over fixed spatial regions and
+// names several interchangeable schemes: zipcode areas, streets, highway
+// mileages and R-tree rectangles (§II.A, §VI).  Everything downstream (the
+// cube, red-zone guidance, query engine) depends only on this interface, so
+// the scheme is pluggable: `RegionGrid` is the uniform-grid instance,
+// `index::RTreeLeafPartition` the R-tree-rectangle instance.
+#ifndef ATYPICAL_CPS_SPATIAL_PARTITION_H_
+#define ATYPICAL_CPS_SPATIAL_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "cps/types.h"
+
+namespace atypical {
+
+class SpatialPartition {
+ public:
+  virtual ~SpatialPartition() = default;
+
+  virtual int num_regions() const = 0;
+
+  // Region owning `sensor`; every sensor belongs to exactly one region.
+  virtual RegionId RegionOfSensor(SensorId sensor) const = 0;
+
+  // Sensors assigned to `region` (may be empty).
+  virtual const std::vector<SensorId>& SensorsInRegion(
+      RegionId region) const = 0;
+
+  // Regions that overlap `rect`.
+  virtual std::vector<RegionId> RegionsInRect(const GeoRect& rect) const = 0;
+
+  // Human-readable scheme name ("grid-1.5mi", "rtree-leaves", ...).
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CPS_SPATIAL_PARTITION_H_

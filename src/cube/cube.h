@@ -1,0 +1,89 @@
+// The bottom-up aggregation baseline (CubeView-style, §II.A) and the
+// distributive total-severity measure F(W, T) (Property 4) that guides the
+// red-zone filter.
+//
+// Two construction modes mirror the paper's baselines:
+//   * FromReadings  — "original CubeView" (OC): aggregates every reading,
+//     measure = record count + occupied minutes;
+//   * FromAtypical  — "modified CubeView" (MC): aggregates only atypical
+//     records, measure = total severity.
+//
+// Cells are materialized at the granularities in cube::CubeLevel; F(W, T)
+// sums region×day cells, which is exact because total severity is
+// distributive over any partition of (W, T).
+#ifndef ATYPICAL_CUBE_CUBE_H_
+#define ATYPICAL_CUBE_CUBE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cps/dataset.h"
+#include "cps/record.h"
+#include "cps/spatial_partition.h"
+#include "cube/hierarchy.h"
+
+namespace atypical {
+namespace cube {
+
+// Aggregated measures of one cell.
+struct CubeCell {
+  double severity = 0.0;  // Σ atypical minutes (MC), 0 for normal readings
+  int64_t count = 0;      // records aggregated
+  double value_minutes = 0.0;  // OC only: Σ window minutes of traffic data
+};
+
+struct CubeBuildStats {
+  double seconds = 0.0;
+  int64_t records = 0;
+  uint64_t num_cells = 0;
+  uint64_t byte_size = 0;
+};
+
+class BottomUpCube {
+ public:
+  // OC: aggregates every reading of `dataset` into the cube.
+  static BottomUpCube FromReadings(const Dataset& dataset,
+                                   const SpatialPartition& regions);
+
+  // MC: aggregates only atypical records.
+  static BottomUpCube FromAtypical(const std::vector<AtypicalRecord>& records,
+                                   const SpatialPartition& regions,
+                                   const TimeGrid& grid);
+
+  BottomUpCube() = default;
+
+  // Merges another cube built over the same regions/grid (used to accumulate
+  // months).  Distributivity makes this exact.
+  void MergeFrom(const BottomUpCube& other);
+
+  const CubeCell* Lookup(CubeLevel level, uint32_t space, int64_t time) const;
+
+  // Total severity F(W', T) for a set of regions and a day range
+  // (the red-zone guidance measure; Property 4/5).
+  double F(const std::vector<RegionId>& regions, const DayRange& days) const;
+
+  // Severity of a single (region, day) cell.
+  double RegionDaySeverity(RegionId region, int day) const;
+
+  uint64_t num_cells() const;
+  uint64_t ByteSize() const;
+  const CubeBuildStats& build_stats() const { return build_stats_; }
+
+ private:
+  static uint64_t CellKey(uint32_t space, int64_t time) {
+    return (static_cast<uint64_t>(space) << 34) ^
+           static_cast<uint64_t>(time & 0x3ffffffffLL);
+  }
+
+  void AddAtypical(const AtypicalRecord& r, const SpatialPartition& regions,
+                   const TimeGrid& grid);
+
+  using LevelMap = std::unordered_map<uint64_t, CubeCell>;
+  LevelMap levels_[kNumCubeLevels];
+  CubeBuildStats build_stats_;
+};
+
+}  // namespace cube
+}  // namespace atypical
+
+#endif  // ATYPICAL_CUBE_CUBE_H_

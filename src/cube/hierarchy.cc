@@ -1,0 +1,21 @@
+#include "cube/hierarchy.h"
+
+namespace atypical {
+namespace cube {
+
+const char* CubeLevelName(CubeLevel level) {
+  switch (level) {
+    case CubeLevel::kRegionHour:
+      return "region_hour";
+    case CubeLevel::kSensorDay:
+      return "sensor_day";
+    case CubeLevel::kRegionDay:
+      return "region_day";
+    case CubeLevel::kRegionWeek:
+      return "region_week";
+  }
+  return "unknown";
+}
+
+}  // namespace cube
+}  // namespace atypical

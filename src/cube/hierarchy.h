@@ -1,0 +1,50 @@
+// Pre-defined aggregation hierarchies for bottom-up aggregation (§II.A).
+//
+// Temporal: window → hour → day → week → month.  Spatial: sensor → region
+// (the RegionGrid stands in for zipcode areas) → whole area.  The CubeView
+// baseline accumulates measures along these hierarchies only; that rigidity
+// — events do not follow pre-defined boundaries — is exactly what the
+// atypical-cluster model fixes.
+#ifndef ATYPICAL_CUBE_HIERARCHY_H_
+#define ATYPICAL_CUBE_HIERARCHY_H_
+
+#include "cps/types.h"
+
+namespace atypical {
+namespace cube {
+
+// Absolute hour index since epoch.
+inline int64_t HourOfWindow(WindowId w, const TimeGrid& grid) {
+  return grid.StartMinute(w) / 60;
+}
+
+inline int DayOfWindow(WindowId w, const TimeGrid& grid) {
+  return grid.DayOfWindow(w);
+}
+
+// Week index (day 0 starts week 0; 7-day weeks).
+inline int WeekOfDay(int day) { return day >= 0 ? day / 7 : (day - 6) / 7; }
+
+// Month index under fixed-length synthetic months.
+inline int MonthOfDay(int day, int days_per_month) {
+  return day / days_per_month;
+}
+
+// Materialized granularities of the bottom-up cube.  The base granularity
+// is (region, hour): CubeView-style aggregation accumulates measures on the
+// pre-defined spatial partition (zipcode areas / regions), not on individual
+// sensors; the sensor-day level exists for drill-down.
+enum class CubeLevel : uint8_t {
+  kRegionHour = 0,
+  kSensorDay = 1,
+  kRegionDay = 2,
+  kRegionWeek = 3,
+};
+inline constexpr int kNumCubeLevels = 4;
+
+const char* CubeLevelName(CubeLevel level);
+
+}  // namespace cube
+}  // namespace atypical
+
+#endif  // ATYPICAL_CUBE_HIERARCHY_H_

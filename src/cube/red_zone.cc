@@ -1,0 +1,46 @@
+#include "cube/red_zone.h"
+
+#include "util/logging.h"
+
+namespace atypical {
+namespace cube {
+
+std::vector<RegionId> ComputeRedZones(const BottomUpCube& atypical_cube,
+                                      const std::vector<RegionId>& regions_in_w,
+                                      const DayRange& days, double threshold) {
+  std::vector<RegionId> red;
+  for (RegionId region : regions_in_w) {
+    double f = 0.0;
+    for (int day = days.first_day; day <= days.last_day; ++day) {
+      f += atypical_cube.RegionDaySeverity(region, day);
+      if (f >= threshold) break;  // already qualifies
+    }
+    if (f >= threshold) red.push_back(region);
+  }
+  return red;
+}
+
+std::vector<AtypicalCluster> FilterByRedZones(
+    std::vector<AtypicalCluster> clusters,
+    const std::vector<RegionId>& red_zones, const SpatialPartition& regions,
+    RedZoneFilterMode mode) {
+  const std::unordered_set<RegionId> red(red_zones.begin(), red_zones.end());
+  std::vector<AtypicalCluster> out;
+  out.reserve(clusters.size());
+  for (AtypicalCluster& cluster : clusters) {
+    int inside = 0;
+    int total = 0;
+    for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
+      ++total;
+      if (red.contains(regions.RegionOfSensor(e.key))) ++inside;
+    }
+    const bool keep = mode == RedZoneFilterMode::kKeepIntersecting
+                          ? inside > 0
+                          : inside == total && total > 0;
+    if (keep) out.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+}  // namespace cube
+}  // namespace atypical

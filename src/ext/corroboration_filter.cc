@@ -1,0 +1,37 @@
+#include "ext/corroboration_filter.h"
+
+#include "index/grid_index.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace ext {
+
+std::vector<AtypicalRecord> FilterTrustworthy(
+    const std::vector<AtypicalRecord>& records, const SensorNetwork& network,
+    const TimeGrid& grid, const CorroborationParams& params,
+    CorroborationStats* stats) {
+  CHECK_GE(params.min_corroborators, 0);
+  std::vector<AtypicalRecord> kept;
+  kept.reserve(records.size());
+
+  const index::GridIndex idx(records, network, grid, params.delta_d_miles,
+                             params.delta_t_minutes);
+  std::vector<size_t> neighbors;
+  for (size_t i = 0; i < records.size(); ++i) {
+    neighbors.clear();
+    idx.DirectlyRelated(i, &neighbors);
+    if (static_cast<int>(neighbors.size()) >= params.min_corroborators) {
+      kept.push_back(records[i]);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->input_records = records.size();
+    stats->kept_records = kept.size();
+    stats->dropped_records = records.size() - kept.size();
+  }
+  return kept;
+}
+
+}  // namespace ext
+}  // namespace atypical

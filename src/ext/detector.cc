@@ -1,0 +1,108 @@
+#include "ext/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atypical {
+namespace ext {
+
+SpeedProfile SpeedProfile::Learn(const Dataset& dataset,
+                                 double reference_percentile) {
+  CHECK_GT(reference_percentile, 0.0);
+  CHECK_LE(reference_percentile, 1.0);
+  const int n = dataset.meta().num_sensors;
+  std::vector<std::vector<float>> speeds(n);
+  for (const Reading& r : dataset.readings()) {
+    CHECK_LT(static_cast<int>(r.sensor), n);
+    speeds[r.sensor].push_back(r.speed_mph);
+  }
+  SpeedProfile profile;
+  profile.reference_.resize(n, 0.0);
+  for (int s = 0; s < n; ++s) {
+    if (speeds[s].empty()) continue;
+    const size_t k = std::min(
+        speeds[s].size() - 1,
+        static_cast<size_t>(reference_percentile * speeds[s].size()));
+    std::nth_element(speeds[s].begin(), speeds[s].begin() + k,
+                     speeds[s].end());
+    profile.reference_[s] = speeds[s][k];
+  }
+  return profile;
+}
+
+double SpeedProfile::reference_mph(SensorId sensor) const {
+  CHECK_LT(static_cast<size_t>(sensor), reference_.size());
+  return reference_[sensor];
+}
+
+std::vector<AtypicalRecord> DetectAtypical(const Dataset& dataset,
+                                           const SpeedProfile& profile,
+                                           const DetectorParams& params,
+                                           DetectionStats* stats) {
+  CHECK_GT(params.congestion_fraction, 0.0);
+  CHECK_LT(params.congestion_fraction, 1.0);
+  const double window_minutes = dataset.meta().time_grid.window_minutes();
+  std::vector<AtypicalRecord> out;
+  int64_t scanned = 0;
+  for (const Reading& r : dataset.readings()) {
+    ++scanned;
+    const double reference = profile.reference_mph(r.sensor);
+    if (reference <= 0.0) continue;
+    const double threshold = params.congestion_fraction * reference;
+    if (r.speed_mph >= threshold) continue;
+    // Depth below the threshold estimates how much of the window was
+    // congested: at the threshold nothing, at (or below) the fully-congested
+    // speed the whole window.  The fully-congested reference is taken as
+    // 40% of the threshold speed.
+    const double floor_speed = 0.4 * threshold;
+    const double depth =
+        std::clamp((threshold - r.speed_mph) / (threshold - floor_speed),
+                   0.0, 1.0);
+    const double minutes =
+        std::round(depth * window_minutes * 10.0) / 10.0;
+    if (minutes < params.min_minutes) continue;
+    out.push_back(AtypicalRecord{r.sensor, r.window,
+                                 static_cast<float>(minutes), kNoEvent});
+  }
+  if (stats != nullptr) {
+    stats->readings_scanned = scanned;
+    stats->records_emitted = static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+DetectionQuality EvaluateDetection(
+    const Dataset& labeled, const std::vector<AtypicalRecord>& detected) {
+  // Index detected records by (sensor, window).
+  auto key = [](SensorId s, WindowId w) {
+    return (static_cast<uint64_t>(s) << 32) | w;
+  };
+  std::vector<uint64_t> hits;
+  hits.reserve(detected.size());
+  for (const AtypicalRecord& r : detected) hits.push_back(key(r.sensor, r.window));
+  std::sort(hits.begin(), hits.end());
+
+  DetectionQuality q;
+  for (const Reading& r : labeled.readings()) {
+    const bool truly = r.is_atypical();
+    const bool flagged =
+        std::binary_search(hits.begin(), hits.end(), key(r.sensor, r.window));
+    if (flagged && truly) ++q.true_positives;
+    if (flagged && !truly) ++q.false_positives;
+    if (!flagged && truly) ++q.false_negatives;
+  }
+  const int64_t detected_total = q.true_positives + q.false_positives;
+  const int64_t actual_total = q.true_positives + q.false_negatives;
+  q.precision = detected_total > 0
+                    ? static_cast<double>(q.true_positives) / detected_total
+                    : 0.0;
+  q.recall = actual_total > 0
+                 ? static_cast<double>(q.true_positives) / actual_total
+                 : 1.0;
+  return q;
+}
+
+}  // namespace ext
+}  // namespace atypical

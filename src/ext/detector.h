@@ -1,0 +1,76 @@
+// Atypical-record detection from raw readings (extension).
+//
+// The paper assumes the atypical criterion is given and trustworthy records
+// arrive pre-selected (§II.A).  This module provides the canonical traffic
+// criterion so the library also works on raw speed feeds without generator
+// labels: a window is congested when the observed speed falls below a
+// fraction of the sensor's reference (free-flow) speed, and the atypical
+// duration is estimated from how deep the speed sits below the threshold.
+//
+// The reference speed per sensor is learned from the data itself (a high
+// percentile of observed speeds), so no ground-truth model is required.
+#ifndef ATYPICAL_EXT_DETECTOR_H_
+#define ATYPICAL_EXT_DETECTOR_H_
+
+#include <vector>
+
+#include "cps/dataset.h"
+#include "cps/record.h"
+
+namespace atypical {
+namespace ext {
+
+struct DetectorParams {
+  // Speed below `congestion_fraction` × reference speed counts as congested.
+  double congestion_fraction = 0.55;
+  // Percentile of a sensor's speeds used as its reference speed.
+  double reference_percentile = 0.9;
+  // Minimum estimated atypical minutes for a record to be emitted.
+  double min_minutes = 1.0;
+};
+
+// Per-sensor reference speeds learned from observed data.
+class SpeedProfile {
+ public:
+  // Learns reference speeds from every reading in `dataset`.
+  static SpeedProfile Learn(const Dataset& dataset,
+                            double reference_percentile = 0.9);
+
+  int num_sensors() const { return static_cast<int>(reference_.size()); }
+  double reference_mph(SensorId sensor) const;
+
+ private:
+  std::vector<double> reference_;
+};
+
+struct DetectionStats {
+  int64_t readings_scanned = 0;
+  int64_t records_emitted = 0;
+};
+
+// Scans `dataset` and emits atypical records per the speed criterion.
+// Output is ordered like the input readings; true_event labels are NOT
+// copied (a real detector has no labels) so evaluation against the
+// generator's labels stays honest.
+std::vector<AtypicalRecord> DetectAtypical(const Dataset& dataset,
+                                           const SpeedProfile& profile,
+                                           const DetectorParams& params = {},
+                                           DetectionStats* stats = nullptr);
+
+// Detection quality against labeled ground truth: a reading is truly
+// atypical iff the generator marked it.
+struct DetectionQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+};
+
+DetectionQuality EvaluateDetection(const Dataset& labeled,
+                                   const std::vector<AtypicalRecord>& detected);
+
+}  // namespace ext
+}  // namespace atypical
+
+#endif  // ATYPICAL_EXT_DETECTOR_H_

@@ -1,0 +1,114 @@
+#include "ext/prediction.h"
+
+#include <cmath>
+
+#include "gen/traffic_model.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace ext {
+
+CongestionPredictor::CongestionPredictor(int num_sensors,
+                                         const TimeGrid& grid,
+                                         const PredictionParams& params)
+    : num_sensors_(num_sensors), grid_(grid), params_(params) {
+  CHECK_GT(num_sensors, 0);
+  const size_t cells =
+      static_cast<size_t>(num_sensors) * grid.WindowsPerDay();
+  sum_weekday_.assign(cells, 0.0);
+  sum_weekend_.assign(cells, 0.0);
+}
+
+size_t CongestionPredictor::CellIndex(SensorId sensor,
+                                      int window_of_day) const {
+  CHECK_LT(static_cast<int>(sensor), num_sensors_);
+  return static_cast<size_t>(sensor) * grid_.WindowsPerDay() + window_of_day;
+}
+
+void CongestionPredictor::Train(const std::vector<AtypicalRecord>& records) {
+  for (const AtypicalRecord& r : records) {
+    const int day = grid_.DayOfWindow(r.window);
+    if (seen_days_.insert(day).second) {
+      if (IsWeekend(day)) {
+        ++days_weekend_;
+      } else {
+        ++days_weekday_;
+      }
+    }
+    std::vector<double>& sums =
+        IsWeekend(day) ? sum_weekend_ : sum_weekday_;
+    sums[CellIndex(r.sensor, grid_.WindowOfDay(r.window))] +=
+        r.severity_minutes;
+  }
+}
+
+int CongestionPredictor::training_days(bool weekend) const {
+  return weekend ? days_weekend_ : days_weekday_;
+}
+
+double CongestionPredictor::ExpectedMinutes(SensorId sensor,
+                                            int window_of_day,
+                                            bool weekend) const {
+  const int days = training_days(weekend);
+  if (days == 0) return 0.0;
+  const std::vector<double>& sums = weekend ? sum_weekend_ : sum_weekday_;
+  return sums[CellIndex(sensor, window_of_day)] / days;
+}
+
+std::vector<PredictedCell> CongestionPredictor::PredictDay(
+    bool weekend) const {
+  std::vector<PredictedCell> out;
+  const int wpd = grid_.WindowsPerDay();
+  for (SensorId s = 0; s < static_cast<SensorId>(num_sensors_); ++s) {
+    for (int w = 0; w < wpd; ++w) {
+      const double expected = ExpectedMinutes(s, w, weekend);
+      if (expected >= params_.min_predicted_minutes) {
+        out.push_back(PredictedCell{s, w, static_cast<float>(expected)});
+      }
+    }
+  }
+  return out;
+}
+
+PredictionQuality CongestionPredictor::Evaluate(
+    int day, const std::vector<AtypicalRecord>& actual) const {
+  const bool weekend = IsWeekend(day);
+  const int wpd = grid_.WindowsPerDay();
+
+  // Dense actual-severity grid for the day.
+  std::vector<float> actual_minutes(
+      static_cast<size_t>(num_sensors_) * wpd, 0.0f);
+  for (const AtypicalRecord& r : actual) {
+    CHECK_EQ(grid_.DayOfWindow(r.window), day);
+    actual_minutes[CellIndex(r.sensor, grid_.WindowOfDay(r.window))] +=
+        r.severity_minutes;
+  }
+
+  PredictionQuality q;
+  double abs_error = 0.0;
+  size_t hits = 0;
+  for (SensorId s = 0; s < static_cast<SensorId>(num_sensors_); ++s) {
+    for (int w = 0; w < wpd; ++w) {
+      const double predicted = ExpectedMinutes(s, w, weekend);
+      const double observed = actual_minutes[CellIndex(s, w)];
+      abs_error += std::abs(predicted - observed);
+      const bool predicted_atypical =
+          predicted >= params_.min_predicted_minutes;
+      const bool actually_atypical = observed > 0.0;
+      if (predicted_atypical) ++q.predicted_cells;
+      if (actually_atypical) ++q.actual_cells;
+      if (predicted_atypical && actually_atypical) ++hits;
+    }
+  }
+  const size_t total_cells = static_cast<size_t>(num_sensors_) * wpd;
+  q.mean_absolute_error_minutes = abs_error / total_cells;
+  q.precision = q.predicted_cells > 0
+                    ? static_cast<double>(hits) / q.predicted_cells
+                    : 0.0;
+  q.recall =
+      q.actual_cells > 0 ? static_cast<double>(hits) / q.actual_cells : 1.0;
+  return q;
+}
+
+}  // namespace ext
+}  // namespace atypical

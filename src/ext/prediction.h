@@ -1,0 +1,83 @@
+// Congestion prediction (the paper's stated future work, §VII).
+//
+// A simple historical-profile forecaster: for each (sensor, window-of-day,
+// day-type) cell it averages the observed atypical minutes over the training
+// days and predicts that profile for future days.  This is deliberately the
+// baseline any production system would start from; its value here is
+// (a) demonstrating that the cluster model's features carry enough signal to
+// forecast recurring events, and (b) providing a measurable extension.
+#ifndef ATYPICAL_EXT_PREDICTION_H_
+#define ATYPICAL_EXT_PREDICTION_H_
+
+#include <set>
+#include <vector>
+
+#include "cps/record.h"
+#include "cps/types.h"
+
+namespace atypical {
+namespace ext {
+
+struct PredictionParams {
+  // Minimum mean severity (minutes) for a cell to be predicted atypical.
+  double min_predicted_minutes = 1.0;
+};
+
+struct PredictedCell {
+  SensorId sensor = kInvalidSensor;
+  int window_of_day = 0;
+  float expected_minutes = 0.0f;
+};
+
+struct PredictionQuality {
+  // Over the evaluation day's (sensor, window) grid:
+  double mean_absolute_error_minutes = 0.0;
+  // Treating "atypical" as a binary label:
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t predicted_cells = 0;
+  size_t actual_cells = 0;
+};
+
+// Forecasts per-sensor congestion profiles from historical atypical records.
+class CongestionPredictor {
+ public:
+  CongestionPredictor(int num_sensors, const TimeGrid& grid,
+                      const PredictionParams& params = {});
+
+  // Accumulates training data.  Records may span many days.
+  void Train(const std::vector<AtypicalRecord>& records);
+
+  // Days seen so far, per day type (0 = weekday, 1 = weekend).
+  int training_days(bool weekend) const;
+
+  // Expected atypical minutes for a cell on a day of the given type.
+  double ExpectedMinutes(SensorId sensor, int window_of_day,
+                         bool weekend) const;
+
+  // All cells whose expectation clears `min_predicted_minutes`.
+  std::vector<PredictedCell> PredictDay(bool weekend) const;
+
+  // Scores a prediction against one actual day of atypical records (all of
+  // which must fall on `day`).
+  PredictionQuality Evaluate(int day,
+                             const std::vector<AtypicalRecord>& actual) const;
+
+ private:
+  size_t CellIndex(SensorId sensor, int window_of_day) const;
+
+  int num_sensors_;
+  TimeGrid grid_;
+  PredictionParams params_;
+  // Summed minutes per (sensor, window-of-day), split by day type.
+  std::vector<double> sum_weekday_;
+  std::vector<double> sum_weekend_;
+  int days_weekday_ = 0;
+  int days_weekend_ = 0;
+  std::set<int> seen_days_;  // absolute days already counted
+};
+
+}  // namespace ext
+}  // namespace atypical
+
+#endif  // ATYPICAL_EXT_PREDICTION_H_

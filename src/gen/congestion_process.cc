@@ -1,0 +1,276 @@
+#include "gen/congestion_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/traffic_model.h"
+#include "util/logging.h"
+
+namespace atypical {
+
+namespace {
+
+// Event ids are (day + 1) * kEventsPerDayStride + ordinal, so they are unique
+// across days and never collide with kNoEvent (0).
+constexpr EventId kEventsPerDayStride = 4096;
+
+}  // namespace
+
+CongestionProcess::CongestionProcess(const SensorNetwork& network,
+                                     const CongestionProcessConfig& config)
+    : network_(network), config_(config) {
+  CHECK_GE(config.num_major_hotspots, 0);
+  CHECK_GE(config.num_minor_hotspots, 0);
+  CHECK_GE(config.incidents_per_day, 0.0);
+  PlaceHotspots();
+}
+
+void CongestionProcess::PlaceHotspots() {
+  Rng rng(config_.seed);
+  const int total = config_.num_major_hotspots + config_.num_minor_hotspots;
+  const GeoRect bounds = network_.bounds();
+  const GeoPoint downtown{(bounds.min_x + bounds.max_x) / 2.0,
+                          (bounds.min_y + bounds.max_y) / 2.0};
+
+  // Collect highways long enough to host a jam, weighted toward those that
+  // pass close to the "downtown" center (where real hotspots concentrate).
+  std::vector<HighwayId> candidates;
+  std::vector<double> weights;
+  for (HighwayId h = 0; h < static_cast<HighwayId>(network_.num_highways());
+       ++h) {
+    const auto& line = network_.SensorsOnHighway(h);
+    if (static_cast<int>(line.size()) < 8) continue;
+    const Sensor& mid = network_.sensor(line[line.size() / 2]);
+    const double dist = DistanceMiles(mid.location, downtown);
+    candidates.push_back(h);
+    weights.push_back(1.0 / (1.0 + dist * dist / 50.0));
+  }
+  CHECK(!candidates.empty()) << "no highway long enough to host hotspots";
+
+  for (int i = 0; i < total; ++i) {
+    const size_t pick = rng.WeightedIndex(weights);
+    const HighwayId h = candidates[pick];
+    // Soft no-replacement: repeated picks of the same highway are strongly
+    // discouraged so hotspots spread across the network instead of piling
+    // onto the downtown corridors and merging into one mega-cluster.
+    weights[pick] *= 0.15;
+    const auto& line = network_.SensorsOnHighway(h);
+    Hotspot spot;
+    spot.highway = h;
+    spot.major = i < config_.num_major_hotspots;
+    if (spot.major) {
+      spot.peak_minute_of_day = rng.Bernoulli(0.5) ? 8 * 60 : 17 * 60 + 30;
+      spot.weekday_probability = 0.85;
+      spot.weekend_probability = 0.15;
+      spot.peak_radius_sensors = rng.Uniform(5.0, 8.0);
+      spot.mean_duration_minutes = rng.Uniform(200.0, 300.0);
+    } else {
+      // Off-peak troubles (road works, venues): outside the rush windows,
+      // so they stay distinct events instead of percolating into the
+      // rush-hour mega-clusters.
+      static constexpr int kOffPeakMinutes[] = {6 * 60, 10 * 60 + 30,
+                                                12 * 60 + 45, 14 * 60 + 30,
+                                                20 * 60 + 30};
+      spot.peak_minute_of_day =
+          kOffPeakMinutes[rng.UniformInt(uint64_t{5})];
+      // Wide per-spot variation in recurrence and size gives the cluster
+      // population a graded severity spectrum, so the δs sweep (Fig. 19)
+      // actually moves clusters across the significance bar, and some
+      // minors' daily micro-clusters are individually trivial even though
+      // their weekly/monthly macro-clusters are significant (Example 6's
+      // trap for beforehand pruning).
+      spot.weekday_probability = rng.Uniform(0.5, 0.85);
+      spot.weekend_probability = spot.weekday_probability * 0.15;
+      spot.peak_radius_sensors = rng.Uniform(1.2, 2.0);
+      spot.mean_duration_minutes = rng.Uniform(60.0, 90.0);
+      // Finite active span, staggered over the horizon.
+      const int span = static_cast<int>(
+          rng.UniformInt(config_.minor_span_min_days,
+                         config_.minor_span_max_days));
+      const int latest_start = std::max(1, config_.horizon_days - span);
+      spot.active_first_day =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(latest_start)));
+      spot.active_last_day = spot.active_first_day + span - 1;
+    }
+    // Keep centers away from the highway ends so jams have room to expand,
+    // and away from already-placed hotspots on the same highway (otherwise
+    // neighbors merge into one cluster and the population collapses).
+    const int margin = std::max(1, static_cast<int>(line.size()) / 8);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      spot.center_index = static_cast<int>(
+          rng.UniformInt(static_cast<int64_t>(margin),
+                         static_cast<int64_t>(line.size()) - 1 - margin));
+      bool clear = true;
+      for (const Hotspot& other : hotspots_) {
+        if (other.highway == h &&
+            std::abs(other.center_index - spot.center_index) <
+                static_cast<int>(other.peak_radius_sensors +
+                                 spot.peak_radius_sensors) +
+                    2) {
+          clear = false;
+          break;
+        }
+      }
+      if (clear) break;
+    }
+    hotspots_.push_back(spot);
+  }
+}
+
+std::vector<CongestionEventInstance> CongestionProcess::SampleDay(
+    int absolute_day) const {
+  // Independent stream per day so months can be generated in any order.
+  Rng rng(config_.seed ^ (0x51d0'9e37ULL * (absolute_day + 1)));
+  const bool weekend = IsWeekend(absolute_day);
+
+  std::vector<CongestionEventInstance> events;
+  EventId next_ordinal = 0;
+  auto next_id = [&]() {
+    return static_cast<EventId>(absolute_day + 1) * kEventsPerDayStride +
+           next_ordinal++;
+  };
+
+  for (const Hotspot& spot : hotspots_) {
+    const double p =
+        weekend ? spot.weekend_probability : spot.weekday_probability;
+    // Draw even for inactive hotspots so the stream position (and thus all
+    // later events of the day) is independent of span parameters.
+    const bool fires = rng.Bernoulli(p);
+    if (!fires || !spot.ActiveOn(absolute_day)) continue;
+    events.push_back(SampleHotspotEvent(spot, next_id(), rng));
+  }
+
+  const int incidents = rng.Poisson(config_.incidents_per_day);
+  for (int i = 0; i < incidents; ++i) {
+    events.push_back(SampleIncident(next_id(), rng));
+  }
+  return events;
+}
+
+CongestionEventInstance CongestionProcess::SampleHotspotEvent(
+    const Hotspot& hotspot, EventId id, Rng& rng) const {
+  CongestionEventInstance e;
+  e.id = id;
+  e.highway = hotspot.highway;
+  e.from_hotspot = true;
+  const auto& line = network_.SensorsOnHighway(hotspot.highway);
+  e.center_index = std::clamp(
+      hotspot.center_index + static_cast<int>(rng.UniformInt(-1, 1)), 0,
+      static_cast<int>(line.size()) - 1);
+  e.duration_minutes = std::max(
+      30, static_cast<int>(rng.Normal(hotspot.mean_duration_minutes,
+                                      hotspot.mean_duration_minutes * 0.15)));
+  // The jam peaks mid-event around the hotspot's usual peak time, with some
+  // day-to-day jitter (recurring jams are fairly punctual, so the jitter is
+  // small relative to event durations — otherwise short recurring events
+  // would share no time-of-day windows and never integrate across days).
+  const int peak = hotspot.peak_minute_of_day +
+                   static_cast<int>(rng.Normal(0.0, 10.0));
+  e.start_minute = std::clamp(peak - e.duration_minutes / 2, 0,
+                              1440 - e.duration_minutes);
+  e.peak_radius = std::max(
+      1.0, rng.Normal(hotspot.peak_radius_sensors,
+                      hotspot.peak_radius_sensors * 0.15));
+  // Jams drift slowly upstream as the queue tail grows.
+  e.drift_per_minute = rng.Uniform(0.0, 0.01);
+  return e;
+}
+
+CongestionEventInstance CongestionProcess::SampleIncident(EventId id,
+                                                          Rng& rng) const {
+  CongestionEventInstance e;
+  e.id = id;
+  e.from_hotspot = false;
+  if (!hotspots_.empty() &&
+      rng.Bernoulli(config_.incident_near_hotspot_prob)) {
+    // Secondary incident near a hotspot: same highway, near the center,
+    // during that hotspot's usual active period, so it tends to merge into
+    // the recurring macro-cluster.
+    const Hotspot& spot =
+        hotspots_[rng.UniformInt(static_cast<uint64_t>(hotspots_.size()))];
+    const auto& line = network_.SensorsOnHighway(spot.highway);
+    e.highway = spot.highway;
+    e.center_index = std::clamp(
+        spot.center_index + static_cast<int>(rng.UniformInt(-4, 4)), 0,
+        static_cast<int>(line.size()) - 1);
+    e.start_minute = std::clamp(
+        spot.peak_minute_of_day + static_cast<int>(rng.Normal(0.0, 45.0)), 0,
+        1380);
+  } else {
+    // Anywhere, any time (mildly biased to daytime).
+    HighwayId h;
+    do {
+      h = static_cast<HighwayId>(
+          rng.UniformInt(static_cast<uint64_t>(network_.num_highways())));
+    } while (network_.SensorsOnHighway(h).empty());
+    e.highway = h;
+    const auto& line = network_.SensorsOnHighway(h);
+    e.center_index =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(line.size())));
+    e.start_minute =
+        static_cast<int>(rng.UniformInt(5 * 60, 22 * 60));
+  }
+  e.duration_minutes = static_cast<int>(rng.UniformInt(12, 28));
+  e.peak_radius = rng.Uniform(0.5, 1.2);
+  e.drift_per_minute = 0.0;
+  return e;
+}
+
+std::vector<SeverityContribution> CongestionProcess::Render(
+    const CongestionEventInstance& event, const TimeGrid& grid) const {
+  std::vector<SeverityContribution> out;
+  const auto& line = network_.SensorsOnHighway(event.highway);
+  const int window_minutes = grid.window_minutes();
+  const int first_window = event.start_minute / window_minutes;
+  const int end_minute = event.start_minute + event.duration_minutes;
+  const int last_window = std::min((end_minute - 1) / window_minutes,
+                                   grid.WindowsPerDay() - 1);
+
+  // Deterministic per-event flicker stream (Render has no day context).
+  Rng flicker_rng(config_.seed ^ (event.id * 0x9e37'79b9'7f4aULL));
+
+  for (int w = first_window; w <= last_window; ++w) {
+    // Stop-and-go: traffic occasionally recovers for a whole window in the
+    // middle of a jam.  Keep the first and last windows so the event's
+    // nominal span is preserved.
+    const bool interior = w != first_window && w != last_window;
+    if (interior && flicker_rng.Bernoulli(config_.flicker_prob)) continue;
+    // Minutes of this window covered by the event.
+    const int window_start = w * window_minutes;
+    const int overlap_start = std::max(window_start, event.start_minute);
+    const int overlap_end = std::min(window_start + window_minutes, end_minute);
+    const int covered = overlap_end - overlap_start;
+    if (covered <= 0) continue;
+
+    // Spatial extent at the window's midpoint: grows to the peak radius and
+    // shrinks back (half-sine profile over the event lifetime).
+    const double mid_minute = window_start + window_minutes / 2.0;
+    const double progress = std::clamp(
+        (mid_minute - event.start_minute) / event.duration_minutes, 0.0, 1.0);
+    const double radius = event.peak_radius * std::sin(progress * M_PI);
+    const double center =
+        event.center_index -
+        event.drift_per_minute * (mid_minute - event.start_minute) *
+            event.peak_radius;
+    if (radius < 0.25) continue;
+
+    const int lo = std::max(0, static_cast<int>(std::floor(center - radius)));
+    const int hi = std::min(static_cast<int>(line.size()) - 1,
+                            static_cast<int>(std::ceil(center + radius)));
+    for (int i = lo; i <= hi; ++i) {
+      const double dist = std::abs(i - center);
+      if (dist > radius) continue;
+      // Core sensors are congested for the whole covered span; frontier
+      // sensors only partially.
+      const double intensity = std::clamp(1.3 * (1.0 - dist / (radius + 0.5)),
+                                          0.0, 1.0);
+      const float minutes =
+          static_cast<float>(std::round(covered * intensity * 10.0) / 10.0);
+      if (minutes < 0.5f) continue;
+      out.push_back(SeverityContribution{line[i], w, minutes, event.id});
+    }
+  }
+  return out;
+}
+
+}  // namespace atypical

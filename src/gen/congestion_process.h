@@ -1,0 +1,124 @@
+// The congestion-event process: the stochastic model that decides when and
+// where atypical events happen and how they evolve.
+//
+// Three event populations reproduce the structure the paper's evaluation
+// depends on:
+//   * major hotspots  — recur almost every weekday in their rush window,
+//     span dozens of sensors for hours (the events that become significant
+//     weekly/monthly macro-clusters, like the paper's clusters A and B);
+//   * minor hotspots  — recur a few times a week, smaller footprint;
+//   * incidents       — Poisson background noise: short, small, anywhere,
+//     any time (the trivial clusters that dominate cluster counts).
+//
+// Every event starts small, expands along its highway to a peak extent, then
+// shrinks — so events have no fixed spatial boundary, exactly the property
+// that defeats the bottom-up baseline.
+#ifndef ATYPICAL_GEN_CONGESTION_PROCESS_H_
+#define ATYPICAL_GEN_CONGESTION_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cps/sensor_network.h"
+#include "cps/types.h"
+#include "util/random.h"
+
+namespace atypical {
+
+// A recurring congestion source anchored at one stretch of highway.
+struct Hotspot {
+  HighwayId highway = 0;
+  int center_index = 0;          // index into SensorsOnHighway(highway)
+  int peak_minute_of_day = 480;  // when the jam usually peaks (8:00 or 17:30)
+  double weekday_probability = 0.85;
+  double weekend_probability = 0.15;
+  double peak_radius_sensors = 10.0;  // half-extent at the jam's peak
+  double mean_duration_minutes = 180.0;
+  bool major = false;
+  // Days on which the hotspot is active, [first, last] inclusive.  Major
+  // hotspots run all year; minor ones model road works / seasonal trouble
+  // spots with finite spans, so their macro-clusters stop growing with the
+  // query range — the mechanism behind precision decaying with T (Fig. 18).
+  int active_first_day = 0;
+  int active_last_day = INT32_MAX;
+
+  bool ActiveOn(int day) const {
+    return day >= active_first_day && day <= active_last_day;
+  }
+};
+
+// One concrete occurrence of congestion on one day (generator-internal;
+// the core library never sees these).
+struct CongestionEventInstance {
+  EventId id = kNoEvent;
+  HighwayId highway = 0;
+  int center_index = 0;
+  int start_minute = 0;      // minute of day the jam begins
+  int duration_minutes = 0;
+  double peak_radius = 0.0;  // in sensor positions along the highway
+  double drift_per_minute = 0.0;  // upstream drift of the jam center
+  bool from_hotspot = false;
+};
+
+struct CongestionProcessConfig {
+  int num_major_hotspots = 6;
+  int num_minor_hotspots = 10;
+  // Expected background incidents per day (Poisson).
+  double incidents_per_day = 6.0;
+  // Fraction of incidents placed on a hotspot's highway near its center, so
+  // they merge into the recurring macro-clusters (secondary accidents).
+  double incident_near_hotspot_prob = 0.5;
+  // Length bounds (days) for minor hotspots' active spans; the span start is
+  // uniform over `horizon_days`.  Major hotspots ignore these.
+  int minor_span_min_days = 30;
+  int minor_span_max_days = 60;
+  int horizon_days = 336;
+  // Stop-and-go flicker: probability that a window in the middle of an
+  // event briefly recovers (no atypical readings that window).  Flicker
+  // creates the temporal gaps that make the δt threshold meaningful —
+  // chaining across a one-window gap needs δt > window length (Def. 1).
+  double flicker_prob = 0.22;
+  uint64_t seed = 23;
+};
+
+// Contribution of one event to one (sensor, window) cell.
+struct SeverityContribution {
+  SensorId sensor = kInvalidSensor;
+  int window_of_day = 0;
+  float minutes = 0.0f;
+  EventId event = kNoEvent;
+};
+
+// Samples daily congestion events and renders them into per-window severity
+// contributions.
+class CongestionProcess {
+ public:
+  CongestionProcess(const SensorNetwork& network,
+                    const CongestionProcessConfig& config);
+
+  const std::vector<Hotspot>& hotspots() const { return hotspots_; }
+
+  // Samples the events of one absolute day.  Deterministic per
+  // (seed, absolute_day); event ids are unique across days.
+  std::vector<CongestionEventInstance> SampleDay(int absolute_day) const;
+
+  // Renders an event into (sensor, window-of-day, minutes) contributions.
+  // The jam expands to `peak_radius` sensors and contracts following a
+  // sinusoidal profile; frontier sensors get partial-window durations.
+  std::vector<SeverityContribution> Render(
+      const CongestionEventInstance& event, const TimeGrid& grid) const;
+
+ private:
+  void PlaceHotspots();
+  CongestionEventInstance SampleHotspotEvent(const Hotspot& hotspot,
+                                             EventId id, Rng& rng) const;
+  CongestionEventInstance SampleIncident(EventId id, Rng& rng) const;
+
+  const SensorNetwork& network_;
+  CongestionProcessConfig config_;
+  std::vector<Hotspot> hotspots_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_GEN_CONGESTION_PROCESS_H_

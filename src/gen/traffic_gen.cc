@@ -1,0 +1,132 @@
+#include "gen/traffic_gen.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace atypical {
+
+TrafficGenerator::TrafficGenerator(const SensorNetwork& network,
+                                   const TrafficGenConfig& config)
+    : network_(network),
+      config_(config),
+      traffic_model_(network, config.traffic),
+      congestion_(network, config.congestion) {
+  CHECK_GT(config.days_per_month, 0);
+  CHECK_EQ(1440 % config.time_grid.window_minutes(), 0);
+}
+
+DatasetMeta TrafficGenerator::MetaForMonth(int month_index) const {
+  DatasetMeta meta;
+  meta.month_index = month_index;
+  meta.first_day = month_index * config_.days_per_month;
+  meta.num_days = config_.days_per_month;
+  meta.num_sensors = network_.num_sensors();
+  meta.time_grid = config_.time_grid;
+  meta.name = StrPrintf("D%d", month_index + 1);
+  return meta;
+}
+
+TrafficGenerator::DayBuffer TrafficGenerator::RenderDay(
+    int absolute_day) const {
+  const int wpd = config_.time_grid.WindowsPerDay();
+  const float cap = static_cast<float>(config_.time_grid.window_minutes());
+  DayBuffer buf;
+  buf.minutes.assign(static_cast<size_t>(network_.num_sensors()) * wpd, 0.0f);
+  buf.labels.assign(buf.minutes.size(), kNoEvent);
+
+  for (const CongestionEventInstance& event :
+       congestion_.SampleDay(absolute_day)) {
+    for (const SeverityContribution& c :
+         congestion_.Render(event, config_.time_grid)) {
+      const size_t cell =
+          static_cast<size_t>(c.sensor) * wpd + c.window_of_day;
+      const float before = buf.minutes[cell];
+      buf.minutes[cell] = std::min(cap, before + c.minutes);
+      // Keep the label of the dominant contributor.
+      if (c.minutes > before || buf.labels[cell] == kNoEvent) {
+        buf.labels[cell] = c.event;
+      }
+    }
+  }
+
+  // Sensor dropouts: some congested windows simply never get reported.
+  if (config_.record_dropout_prob > 0.0) {
+    Rng dropout_rng(config_.seed ^ (0x7f4a'11bbULL * (absolute_day + 3)));
+    for (size_t cell = 0; cell < buf.minutes.size(); ++cell) {
+      if (buf.minutes[cell] > 0.0f &&
+          dropout_rng.Bernoulli(config_.record_dropout_prob)) {
+        buf.minutes[cell] = 0.0f;
+        buf.labels[cell] = kNoEvent;
+      }
+    }
+  }
+  return buf;
+}
+
+Dataset TrafficGenerator::GenerateMonth(int month_index) const {
+  const DatasetMeta meta = MetaForMonth(month_index);
+  const int wpd = config_.time_grid.WindowsPerDay();
+  const float window_minutes =
+      static_cast<float>(config_.time_grid.window_minutes());
+
+  std::vector<Reading> readings;
+  readings.reserve(static_cast<size_t>(meta.ExpectedReadings()));
+  Rng noise_rng(config_.seed ^ (0xabcdULL * (month_index + 1)));
+
+  for (int d = 0; d < meta.num_days; ++d) {
+    const int day = meta.first_day + d;
+    const bool weekend = IsWeekend(day);
+    const DayBuffer buf = RenderDay(day);
+    for (int w = 0; w < wpd; ++w) {
+      const WindowId window = config_.time_grid.MakeWindow(day, w);
+      const int minute = w * config_.time_grid.window_minutes();
+      for (SensorId s = 0; s < static_cast<SensorId>(meta.num_sensors); ++s) {
+        const size_t cell = static_cast<size_t>(s) * wpd + w;
+        const float atypical = buf.minutes[cell];
+        Reading r;
+        r.sensor = s;
+        r.window = window;
+        r.atypical_minutes = atypical;
+        r.true_event = buf.labels[cell];
+        r.speed_mph = static_cast<float>(traffic_model_.ObservedSpeed(
+            s, minute, weekend, atypical / window_minutes, noise_rng));
+        r.occupancy =
+            static_cast<float>(traffic_model_.Occupancy(r.speed_mph, s));
+        readings.push_back(r);
+      }
+    }
+  }
+  return Dataset(meta, std::move(readings));
+}
+
+std::vector<AtypicalRecord> TrafficGenerator::GenerateMonthAtypical(
+    int month_index) const {
+  const DatasetMeta meta = MetaForMonth(month_index);
+  const int wpd = config_.time_grid.WindowsPerDay();
+  std::vector<AtypicalRecord> out;
+  for (int d = 0; d < meta.num_days; ++d) {
+    const int day = meta.first_day + d;
+    const DayBuffer buf = RenderDay(day);
+    for (SensorId s = 0; s < static_cast<SensorId>(meta.num_sensors); ++s) {
+      for (int w = 0; w < wpd; ++w) {
+        const size_t cell = static_cast<size_t>(s) * wpd + w;
+        if (buf.minutes[cell] > 0.0f) {
+          out.push_back(AtypicalRecord{s, config_.time_grid.MakeWindow(day, w),
+                                       buf.minutes[cell], buf.labels[cell]});
+        }
+      }
+    }
+  }
+  // Match the (window, sensor) order produced by GenerateMonth +
+  // ExtractAtypicalRecords so both paths are interchangeable.
+  std::sort(out.begin(), out.end(),
+            [](const AtypicalRecord& a, const AtypicalRecord& b) {
+              if (a.window != b.window) return a.window < b.window;
+              return a.sensor < b.sensor;
+            });
+  return out;
+}
+
+}  // namespace atypical

@@ -1,0 +1,66 @@
+// Monthly dataset synthesis: combines the background traffic model with the
+// congestion process into a full month of readings (the analogue of one of
+// the paper's PeMS monthly datasets).
+#ifndef ATYPICAL_GEN_TRAFFIC_GEN_H_
+#define ATYPICAL_GEN_TRAFFIC_GEN_H_
+
+#include <vector>
+
+#include "cps/dataset.h"
+#include "cps/sensor_network.h"
+#include "gen/congestion_process.h"
+#include "gen/traffic_model.h"
+
+namespace atypical {
+
+struct TrafficGenConfig {
+  TimeGrid time_grid{15};       // 15-minute windows by default
+  int days_per_month = 28;
+  TrafficModelConfig traffic;
+  CongestionProcessConfig congestion;
+  // Probability that a sensor fails to report a congested window (loop
+  // detectors are flaky; PeMS data is full of such holes).  Dropouts create
+  // the temporal gaps that make the δt threshold matter: larger δt bridges
+  // missing windows when chaining records into events.
+  double record_dropout_prob = 0.06;
+  uint64_t seed = 42;
+};
+
+// Deterministic generator for monthly datasets over a fixed sensor network.
+// Thread-compatible: each GenerateMonth call is independent.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const SensorNetwork& network, const TrafficGenConfig& config);
+
+  const TrafficGenConfig& config() const { return config_; }
+  const CongestionProcess& congestion() const { return congestion_; }
+
+  // Generates the full month (every sensor × window reading).
+  Dataset GenerateMonth(int month_index) const;
+
+  // Generates only the atypical records of the month — much faster and
+  // sufficient for the clustering pipeline (the full month is needed only by
+  // the OC baseline and the PR scan).
+  std::vector<AtypicalRecord> GenerateMonthAtypical(int month_index) const;
+
+  DatasetMeta MetaForMonth(int month_index) const;
+
+ private:
+  // Renders all of `day`'s events into a dense (sensor × window-of-day)
+  // severity buffer.  Overlapping events accumulate, capped at the window
+  // length; the label of the largest contributor wins.
+  struct DayBuffer {
+    std::vector<float> minutes;   // sensor-major: [sensor * wpd + window]
+    std::vector<EventId> labels;
+  };
+  DayBuffer RenderDay(int absolute_day) const;
+
+  const SensorNetwork& network_;
+  TrafficGenConfig config_;
+  TrafficModel traffic_model_;
+  CongestionProcess congestion_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_GEN_TRAFFIC_GEN_H_

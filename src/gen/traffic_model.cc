@@ -1,0 +1,79 @@
+#include "gen/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+namespace {
+
+// Gaussian bump centered at `center` minutes with the given width.
+double Bump(int minute, double center, double width) {
+  const double z = (minute - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+double DiurnalDemand(int minute_of_day, bool weekend) {
+  const int m = ((minute_of_day % 1440) + 1440) % 1440;
+  if (weekend) {
+    // One broad peak around 13:00, lighter than weekday rush.
+    return 0.15 + 0.55 * Bump(m, 13 * 60.0, 210.0);
+  }
+  const double am = Bump(m, 8 * 60.0, 75.0);         // ~8:00 peak
+  const double pm = Bump(m, 17 * 60.0 + 30.0, 90.0);  // ~17:30 peak
+  const double midday = 0.45 * Bump(m, 12 * 60 + 30.0, 240.0);
+  return std::min(1.0, 0.1 + std::max({am, pm, midday}));
+}
+
+bool IsWeekend(int absolute_day) {
+  const int dow = ((absolute_day % 7) + 7) % 7;  // day 0 == Monday
+  return dow >= 5;
+}
+
+TrafficModel::TrafficModel(const SensorNetwork& network,
+                           const TrafficModelConfig& config)
+    : config_(config) {
+  CHECK_GT(config.mean_free_flow_mph, 0.0);
+  Rng rng(config.seed);
+  free_flow_.reserve(network.num_sensors());
+  for (int i = 0; i < network.num_sensors(); ++i) {
+    free_flow_.push_back(std::max(
+        30.0, rng.Normal(config.mean_free_flow_mph,
+                         config.free_flow_stddev_mph)));
+  }
+}
+
+double TrafficModel::free_flow_mph(SensorId sensor) const {
+  CHECK_LT(static_cast<size_t>(sensor), free_flow_.size());
+  return free_flow_[sensor];
+}
+
+double TrafficModel::BaseSpeed(SensorId sensor, int minute_of_day,
+                               bool weekend) const {
+  const double demand = DiurnalDemand(minute_of_day, weekend);
+  return free_flow_mph(sensor) * (1.0 - config_.demand_slowdown * demand);
+}
+
+double TrafficModel::ObservedSpeed(SensorId sensor, int minute_of_day,
+                                   bool weekend, double congested_fraction,
+                                   Rng& rng) const {
+  const double base = BaseSpeed(sensor, minute_of_day, weekend);
+  const double f = std::clamp(congested_fraction, 0.0, 1.0);
+  const double speed = base * (1.0 - f) + config_.congested_speed_mph * f +
+                       rng.Normal(0.0, config_.speed_noise_stddev_mph);
+  return std::max(2.0, speed);
+}
+
+double TrafficModel::Occupancy(double speed_mph, SensorId sensor) const {
+  // Simple fundamental-diagram stand-in: occupancy rises as speed drops
+  // below free flow.
+  const double ratio =
+      std::clamp(speed_mph / free_flow_mph(sensor), 0.0, 1.2);
+  return std::clamp(0.08 + 0.72 * (1.0 - ratio), 0.0, 1.0);
+}
+
+}  // namespace atypical

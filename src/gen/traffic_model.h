@@ -1,0 +1,62 @@
+// Background traffic model: what sensors report when nothing atypical is
+// happening.
+//
+// Speeds follow a diurnal demand curve (AM and PM rush peaks on weekdays, a
+// flat midday hump on weekends) around a per-sensor free-flow speed.  The
+// congestion process overlays atypical events on top of this baseline.
+#ifndef ATYPICAL_GEN_TRAFFIC_MODEL_H_
+#define ATYPICAL_GEN_TRAFFIC_MODEL_H_
+
+#include <vector>
+
+#include "cps/sensor_network.h"
+#include "cps/types.h"
+#include "util/random.h"
+
+namespace atypical {
+
+// Relative travel demand in [0, 1] for a minute of day.  Peaks near 8:00
+// and 17:30 on weekdays; a single broad midday peak on weekends.
+double DiurnalDemand(int minute_of_day, bool weekend);
+
+// True for days falling on Saturday/Sunday under the epoch convention that
+// day 0 is a Monday.
+bool IsWeekend(int absolute_day);
+
+struct TrafficModelConfig {
+  double mean_free_flow_mph = 65.0;
+  double free_flow_stddev_mph = 4.0;
+  double congested_speed_mph = 18.0;
+  // Peak-demand slowdown as a fraction of free-flow speed.
+  double demand_slowdown = 0.22;
+  double speed_noise_stddev_mph = 1.5;
+  uint64_t seed = 11;
+};
+
+// Deterministic per-sensor speed model.
+class TrafficModel {
+ public:
+  TrafficModel(const SensorNetwork& network, const TrafficModelConfig& config);
+
+  double free_flow_mph(SensorId sensor) const;
+
+  // Expected (noise-free) speed under normal conditions.
+  double BaseSpeed(SensorId sensor, int minute_of_day, bool weekend) const;
+
+  // Observed speed given how many of the window's minutes were congested.
+  // Blends base speed toward the congested speed and adds reporting noise.
+  double ObservedSpeed(SensorId sensor, int minute_of_day, bool weekend,
+                       double congested_fraction, Rng& rng) const;
+
+  // Loop occupancy consistent with the reported speed (monotone decreasing
+  // in speed; used only to make the raw dataset realistic).
+  double Occupancy(double speed_mph, SensorId sensor) const;
+
+ private:
+  TrafficModelConfig config_;
+  std::vector<double> free_flow_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_GEN_TRAFFIC_MODEL_H_

@@ -1,0 +1,107 @@
+#include "gen/workload.h"
+
+#include "util/logging.h"
+
+namespace atypical {
+
+const char* WorkloadScaleName(WorkloadScale scale) {
+  switch (scale) {
+    case WorkloadScale::kTiny:
+      return "tiny";
+    case WorkloadScale::kSmall:
+      return "small";
+    case WorkloadScale::kPaperLike:
+      return "paper-like";
+  }
+  return "unknown";
+}
+
+double DefaultRegionCellMiles(WorkloadScale scale) {
+  switch (scale) {
+    // Cells must be fine enough that background-incident mass per region
+    // stays below δs·length(T)·N, or every region becomes a red zone and
+    // the guided filter degenerates to All.
+    case WorkloadScale::kTiny:
+      return 2.0;
+    case WorkloadScale::kSmall:
+      return 1.5;
+    case WorkloadScale::kPaperLike:
+      return 3.0;
+  }
+  return 6.0;
+}
+
+std::unique_ptr<Workload> MakeWorkload(WorkloadScale scale, uint64_t seed) {
+  auto workload = std::make_unique<Workload>();
+
+  RoadNetworkConfig roads;
+  SensorNetworkConfig sensors;
+  TrafficGenConfig gen;
+  gen.seed = seed * 131 + 7;
+  gen.traffic.seed = seed * 17 + 3;
+  gen.congestion.seed = seed * 257 + 11;
+  roads.seed = seed * 31 + 1;
+
+  switch (scale) {
+    // Sensor spacing must stay below the paper's default δd = 1.5 miles
+    // (PeMS spacing is ~0.5 mi), so each scale sizes its area and highway
+    // count to keep total-road-miles / sensors under ~1 mile.
+    case WorkloadScale::kTiny:
+      roads.num_highways = 6;
+      roads.area_width_miles = 12.0;
+      roads.area_height_miles = 9.0;
+      sensors.target_num_sensors = 60;
+      gen.time_grid = TimeGrid(15);
+      gen.days_per_month = 7;
+      gen.congestion.num_major_hotspots = 2;
+      gen.congestion.num_minor_hotspots = 3;
+      gen.congestion.incidents_per_day = 3.0;
+      gen.congestion.horizon_days = 21;
+      gen.congestion.minor_span_min_days = 7;
+      gen.congestion.minor_span_max_days = 14;
+      workload->num_months = 3;
+      break;
+    case WorkloadScale::kSmall:
+      roads.num_highways = 14;
+      roads.area_width_miles = 30.0;
+      roads.area_height_miles = 20.0;
+      sensors.target_num_sensors = 450;
+      gen.time_grid = TimeGrid(15);
+      gen.days_per_month = 28;
+      gen.congestion.num_major_hotspots = 10;
+      gen.congestion.num_minor_hotspots = 40;
+      gen.congestion.incidents_per_day = 48.0;
+      gen.congestion.incident_near_hotspot_prob = 0.1;
+      gen.congestion.horizon_days = 12 * 28;
+      gen.congestion.minor_span_min_days = 50;
+      gen.congestion.minor_span_max_days = 90;
+      workload->num_months = 12;
+      break;
+    case WorkloadScale::kPaperLike:
+      roads.num_highways = 38;
+      roads.area_width_miles = 60.0;
+      roads.area_height_miles = 45.0;
+      sensors.target_num_sensors = 4000;
+      gen.time_grid = TimeGrid(5);
+      gen.days_per_month = 30;
+      gen.congestion.num_major_hotspots = 12;
+      gen.congestion.num_minor_hotspots = 24;
+      gen.congestion.incidents_per_day = 150.0;
+      gen.congestion.incident_near_hotspot_prob = 0.2;
+      workload->num_months = 12;
+      break;
+  }
+
+  workload->roads = RoadNetwork::Generate(roads);
+  workload->sensors =
+      std::make_unique<SensorNetwork>(SensorNetwork::Place(workload->roads,
+                                                           sensors));
+  workload->regions = std::make_unique<RegionGrid>(
+      *workload->sensors, DefaultRegionCellMiles(scale));
+  workload->generator =
+      std::make_unique<TrafficGenerator>(*workload->sensors, gen);
+  workload->gen_config = gen;
+  return workload;
+}
+
+}  // namespace atypical

@@ -1,0 +1,45 @@
+// Named workload scales bundling the whole synthetic substrate (roads,
+// sensors, regions, generator) so tests, examples and benches share one
+// construction path.
+#ifndef ATYPICAL_GEN_WORKLOAD_H_
+#define ATYPICAL_GEN_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "cps/region_grid.h"
+#include "cps/road_network.h"
+#include "cps/sensor_network.h"
+#include "gen/traffic_gen.h"
+
+namespace atypical {
+
+enum class WorkloadScale {
+  kTiny,       // tests: ~60 sensors, 8 highways, 7-day months
+  kSmall,      // benches/examples: ~400 sensors, 38 highways, 28-day months
+  kPaperLike,  // ~4000 sensors, 5-minute windows, 30-day months (slow)
+};
+
+const char* WorkloadScaleName(WorkloadScale scale);
+
+// Everything needed to synthesize and analyze a deployment.  Immutable after
+// construction; the members reference each other, so the struct is handed
+// around by unique_ptr.
+struct Workload {
+  RoadNetwork roads;
+  std::unique_ptr<SensorNetwork> sensors;
+  std::unique_ptr<RegionGrid> regions;   // zipcode-like pre-defined partition
+  std::unique_ptr<TrafficGenerator> generator;
+  TrafficGenConfig gen_config;
+  int num_months = 12;
+};
+
+// Builds a workload at the given scale.  Deterministic per (scale, seed).
+std::unique_ptr<Workload> MakeWorkload(WorkloadScale scale, uint64_t seed = 1);
+
+// Region cell size (miles) used for the pre-defined partition at each scale.
+double DefaultRegionCellMiles(WorkloadScale scale);
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_GEN_WORKLOAD_H_

@@ -1,0 +1,69 @@
+#include "index/grid_index.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atypical {
+namespace index {
+
+GridIndex::GridIndex(const std::vector<AtypicalRecord>& records,
+                     const SensorNetwork& network, const TimeGrid& grid,
+                     double delta_d_miles, int delta_t_minutes,
+                     DistanceMetric metric)
+    : records_(&records),
+      network_(&network),
+      grid_(grid),
+      delta_d_(delta_d_miles),
+      delta_t_(delta_t_minutes),
+      metric_(metric) {
+  CHECK_GT(delta_d_miles, 0.0);
+  CHECK_GT(delta_t_minutes, 0);
+  buckets_.reserve(records.size() / 4 + 16);
+  for (size_t i = 0; i < records.size(); ++i) {
+    buckets_[KeyOf(records[i])].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+GridIndex::CellKey GridIndex::KeyOf(const AtypicalRecord& r) const {
+  // A time bucket of (δt + window length) minutes guarantees that any two
+  // windows with gap < δt (i.e. start distance < δt + window length) land in
+  // the same or adjacent buckets, so the 3×3×3 neighborhood scan is exact.
+  const int64_t bucket_minutes = delta_t_ + grid_.window_minutes();
+  const GeoPoint& loc = network_->location(r.sensor);
+  return CellKey{
+      static_cast<int32_t>(std::floor(loc.x / delta_d_)),
+      static_cast<int32_t>(std::floor(loc.y / delta_d_)),
+      static_cast<int32_t>(grid_.StartMinute(r.window) / bucket_minutes)};
+}
+
+void GridIndex::DirectlyRelated(size_t i, std::vector<size_t>* out) const {
+  const AtypicalRecord& seed = (*records_)[i];
+  const CellKey center = KeyOf(seed);
+  for (int32_t dx = -1; dx <= 1; ++dx) {
+    for (int32_t dy = -1; dy <= 1; ++dy) {
+      for (int32_t dt = -1; dt <= 1; ++dt) {
+        const CellKey key{center.cx + dx, center.cy + dy, center.ct + dt};
+        const auto it = buckets_.find(key);
+        if (it == buckets_.end()) continue;
+        for (uint32_t j : it->second) {
+          if (j == i) continue;
+          const AtypicalRecord& other = (*records_)[j];
+          if (grid_.IntervalMinutes(seed.window, other.window) >= delta_t_) {
+            continue;
+          }
+          // Bucketing uses Euclidean geometry, which lower-bounds the road
+          // metric, so the 3x3x3 neighborhood stays exhaustive either way.
+          if (network_->Distance(seed.sensor, other.sensor, metric_) >=
+              delta_d_) {
+            continue;
+          }
+          out->push_back(j);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace index
+}  // namespace atypical

@@ -1,0 +1,74 @@
+// Spatio-temporal bucket index over atypical records.
+//
+// Algorithm 1 spends its time finding, for a seed record r, every record r'
+// with distance(s, s') < δd and interval(t, t') < δt (Def. 1).  Bucketing
+// records by (⌊x/δd⌋, ⌊y/δd⌋, ⌊minute/δt⌋) bounds that search to the 3×3×3
+// neighborhood of the seed's bucket, which turns event retrieval from
+// O(N + n²) into O(N + n·k) — the indexed complexity of Proposition 1.
+#ifndef ATYPICAL_INDEX_GRID_INDEX_H_
+#define ATYPICAL_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cps/record.h"
+#include "cps/sensor_network.h"
+#include "cps/types.h"
+
+namespace atypical {
+namespace index {
+
+// Immutable index over one batch of atypical records.  Records are referred
+// to by their position in the batch passed at construction.
+class GridIndex {
+ public:
+  // `records` must outlive the index.  `delta_d_miles` / `delta_t_minutes`
+  // are the Def. 1 thresholds; they fix the bucket geometry.
+  GridIndex(const std::vector<AtypicalRecord>& records,
+            const SensorNetwork& network, const TimeGrid& grid,
+            double delta_d_miles, int delta_t_minutes,
+            DistanceMetric metric = DistanceMetric::kEuclidean);
+
+  size_t num_records() const { return records_->size(); }
+
+  // Appends the indices of all records directly atypical-related to record
+  // `i` (excluding `i` itself) to `out`.
+  void DirectlyRelated(size_t i, std::vector<size_t>* out) const;
+
+  // Total buckets currently occupied (exposed for tests/benches).
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct CellKey {
+    int32_t cx;
+    int32_t cy;
+    int32_t ct;
+    friend bool operator==(const CellKey& a, const CellKey& b) {
+      return a.cx == b.cx && a.cy == b.cy && a.ct == b.ct;
+    }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      uint64_t h = static_cast<uint32_t>(k.cx);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.cy);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.ct);
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  CellKey KeyOf(const AtypicalRecord& r) const;
+
+  const std::vector<AtypicalRecord>* records_;
+  const SensorNetwork* network_;
+  TimeGrid grid_;
+  double delta_d_;
+  int64_t delta_t_;
+  DistanceMetric metric_;
+  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> buckets_;
+};
+
+}  // namespace index
+}  // namespace atypical
+
+#endif  // ATYPICAL_INDEX_GRID_INDEX_H_

@@ -1,0 +1,200 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace atypical {
+namespace index {
+
+namespace {
+
+GeoRect MbrOfPoints(const SensorNetwork& network,
+                    const std::vector<SensorId>& sensors) {
+  CHECK(!sensors.empty());
+  GeoRect mbr{1e18, 1e18, -1e18, -1e18};
+  for (SensorId s : sensors) {
+    const GeoPoint& p = network.location(s);
+    mbr.min_x = std::min(mbr.min_x, p.x);
+    mbr.min_y = std::min(mbr.min_y, p.y);
+    mbr.max_x = std::max(mbr.max_x, p.x);
+    mbr.max_y = std::max(mbr.max_y, p.y);
+  }
+  return mbr;
+}
+
+GeoRect Union(const GeoRect& a, const GeoRect& b) {
+  return GeoRect{std::min(a.min_x, b.min_x), std::min(a.min_y, b.min_y),
+                 std::max(a.max_x, b.max_x), std::max(a.max_y, b.max_y)};
+}
+
+}  // namespace
+
+SensorRTree::SensorRTree(const SensorNetwork& network, int leaf_capacity,
+                         int fanout)
+    : network_(&network) {
+  CHECK_GT(leaf_capacity, 0);
+  CHECK_GT(fanout, 1);
+  const int n = network.num_sensors();
+  CHECK_GT(n, 0);
+
+  // --- STR leaf packing ---
+  std::vector<SensorId> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = static_cast<SensorId>(i);
+  std::sort(ids.begin(), ids.end(), [&](SensorId a, SensorId b) {
+    return network.location(a).x < network.location(b).x;
+  });
+  const int num_leaves =
+      static_cast<int>(std::ceil(static_cast<double>(n) / leaf_capacity));
+  const int slices =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(num_leaves))));
+  const int per_slice =
+      static_cast<int>(std::ceil(static_cast<double>(n) / slices));
+
+  leaf_of_sensor_.assign(n, -1);
+  for (int s = 0; s < slices; ++s) {
+    const int begin = s * per_slice;
+    const int end = std::min(n, begin + per_slice);
+    if (begin >= end) break;
+    std::sort(ids.begin() + begin, ids.begin() + end,
+              [&](SensorId a, SensorId b) {
+                return network.location(a).y < network.location(b).y;
+              });
+    for (int pos = begin; pos < end; pos += leaf_capacity) {
+      const int leaf = static_cast<int>(leaf_sensors_.size());
+      std::vector<SensorId> members(
+          ids.begin() + pos,
+          ids.begin() + std::min(end, pos + leaf_capacity));
+      for (SensorId member : members) leaf_of_sensor_[member] = leaf;
+      Node node;
+      node.leaf = true;
+      node.leaf_index = leaf;
+      node.mbr = MbrOfPoints(network, members);
+      leaf_sensors_.push_back(std::move(members));
+      nodes_.push_back(std::move(node));
+    }
+  }
+  num_leaves_ = static_cast<int>(leaf_sensors_.size());
+
+  // --- pack upper levels until a single root remains ---
+  std::vector<int> level(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) level[i] = static_cast<int>(i);
+  height_ = 1;
+  while (level.size() > 1) {
+    // Order this level's nodes by MBR center, x-major then y (one STR pass).
+    std::sort(level.begin(), level.end(), [&](int a, int b) {
+      const double ax = nodes_[a].mbr.min_x + nodes_[a].mbr.max_x;
+      const double bx = nodes_[b].mbr.min_x + nodes_[b].mbr.max_x;
+      if (ax != bx) return ax < bx;
+      return nodes_[a].mbr.min_y + nodes_[a].mbr.max_y <
+             nodes_[b].mbr.min_y + nodes_[b].mbr.max_y;
+    });
+    std::vector<int> parents;
+    for (size_t pos = 0; pos < level.size();
+         pos += static_cast<size_t>(fanout)) {
+      Node parent;
+      parent.leaf = false;
+      parent.children.assign(
+          level.begin() + pos,
+          level.begin() + std::min(level.size(),
+                                   pos + static_cast<size_t>(fanout)));
+      parent.mbr = nodes_[parent.children[0]].mbr;
+      for (int child : parent.children) {
+        parent.mbr = Union(parent.mbr, nodes_[child].mbr);
+      }
+      parents.push_back(static_cast<int>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level[0];
+}
+
+void SensorRTree::Collect(int node_index, const GeoRect& rect,
+                          std::vector<SensorId>* out) const {
+  const Node& node = nodes_[node_index];
+  if (!Overlaps(node.mbr, rect)) return;
+  if (node.leaf) {
+    for (SensorId s : leaf_sensors_[node.leaf_index]) {
+      if (rect.Contains(network_->location(s))) out->push_back(s);
+    }
+    return;
+  }
+  for (int child : node.children) Collect(child, rect, out);
+}
+
+std::vector<SensorId> SensorRTree::Query(const GeoRect& rect) const {
+  std::vector<SensorId> out;
+  Collect(root_, rect, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int SensorRTree::LeafOfSensor(SensorId sensor) const {
+  CHECK_LT(static_cast<size_t>(sensor), leaf_of_sensor_.size());
+  return leaf_of_sensor_[sensor];
+}
+
+GeoRect SensorRTree::LeafRect(int leaf) const {
+  CHECK_GE(leaf, 0);
+  CHECK_LT(leaf, num_leaves_);
+  // Leaves occupy the first num_leaves_ node slots in construction order.
+  CHECK_EQ(nodes_[leaf].leaf_index, leaf);
+  return nodes_[leaf].mbr;
+}
+
+const std::vector<SensorId>& SensorRTree::LeafSensors(int leaf) const {
+  CHECK_GE(leaf, 0);
+  CHECK_LT(leaf, num_leaves_);
+  return leaf_sensors_[leaf];
+}
+
+void SensorRTree::CollectLeaves(int node_index, const GeoRect& rect,
+                                std::vector<int>* out) const {
+  const Node& node = nodes_[node_index];
+  if (!Overlaps(node.mbr, rect)) return;
+  if (node.leaf) {
+    out->push_back(node.leaf_index);
+    return;
+  }
+  for (int child : node.children) CollectLeaves(child, rect, out);
+}
+
+std::vector<int> SensorRTree::LeavesInRect(const GeoRect& rect) const {
+  std::vector<int> out;
+  CollectLeaves(root_, rect, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RTreeLeafPartition::RTreeLeafPartition(const SensorNetwork& network,
+                                       int leaf_capacity)
+    : tree_(network, leaf_capacity), leaf_capacity_(leaf_capacity) {}
+
+RegionId RTreeLeafPartition::RegionOfSensor(SensorId sensor) const {
+  return static_cast<RegionId>(tree_.LeafOfSensor(sensor));
+}
+
+const std::vector<SensorId>& RTreeLeafPartition::SensorsInRegion(
+    RegionId region) const {
+  return tree_.LeafSensors(static_cast<int>(region));
+}
+
+std::vector<RegionId> RTreeLeafPartition::RegionsInRect(
+    const GeoRect& rect) const {
+  std::vector<RegionId> out;
+  for (int leaf : tree_.LeavesInRect(rect)) {
+    out.push_back(static_cast<RegionId>(leaf));
+  }
+  return out;
+}
+
+std::string RTreeLeafPartition::Name() const {
+  return StrPrintf("rtree-leaves-%d", leaf_capacity_);
+}
+
+}  // namespace index
+}  // namespace atypical

@@ -1,0 +1,101 @@
+// STR-bulk-loaded R-tree over the sensor fleet.
+//
+// The paper's related work builds OLAP on R-tree rectangles (Papadias et
+// al. [11,12]); this is the corresponding substrate here.  Sensors are
+// packed into leaves with the Sort-Tile-Recursive algorithm, upper levels
+// pack child MBRs the same way.  Two uses:
+//   * spatial range queries over sensors (an alternative to the linear scan
+//     in SensorNetwork::SensorsInRect);
+//   * the leaf rectangles as a pre-defined partition (RTreeLeafPartition)
+//     driving the cube and red-zone guidance — the "R-tree rectangles"
+//     regionalization of §II.A.
+#ifndef ATYPICAL_INDEX_RTREE_H_
+#define ATYPICAL_INDEX_RTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "cps/sensor_network.h"
+#include "cps/spatial_partition.h"
+#include "cps/types.h"
+
+namespace atypical {
+namespace index {
+
+class SensorRTree {
+ public:
+  // Bulk loads all sensors of `network`; each leaf holds up to
+  // `leaf_capacity` sensors, inner nodes up to `fanout` children.
+  SensorRTree(const SensorNetwork& network, int leaf_capacity = 16,
+              int fanout = 8);
+
+  // All sensors whose location falls inside `rect`.
+  std::vector<SensorId> Query(const GeoRect& rect) const;
+
+  int num_leaves() const { return num_leaves_; }
+  int height() const { return height_; }
+
+  // Leaf index (0..num_leaves) containing `sensor`.
+  int LeafOfSensor(SensorId sensor) const;
+
+  // MBR of the given leaf.
+  GeoRect LeafRect(int leaf) const;
+
+  // Sensors stored in the given leaf.
+  const std::vector<SensorId>& LeafSensors(int leaf) const;
+
+  // Leaves whose MBR overlaps `rect`.
+  std::vector<int> LeavesInRect(const GeoRect& rect) const;
+
+ private:
+  struct Node {
+    GeoRect mbr;
+    bool leaf = false;
+    // Leaf: index into leaf_sensors_.  Inner: children node indices.
+    int leaf_index = -1;
+    std::vector<int> children;
+  };
+
+  static bool Overlaps(const GeoRect& a, const GeoRect& b) {
+    return a.min_x <= b.max_x && b.min_x <= a.max_x && a.min_y <= b.max_y &&
+           b.min_y <= a.max_y;
+  }
+
+  void Collect(int node, const GeoRect& rect,
+               std::vector<SensorId>* out) const;
+  void CollectLeaves(int node, const GeoRect& rect,
+                     std::vector<int>* out) const;
+
+  const SensorNetwork* network_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int num_leaves_ = 0;
+  int height_ = 0;
+  std::vector<std::vector<SensorId>> leaf_sensors_;
+  std::vector<int> leaf_of_sensor_;
+};
+
+// The R-tree leaves as a pre-defined spatial partition (regions = leaf
+// MBRs).  Unlike the uniform grid, region granularity adapts to sensor
+// density.
+class RTreeLeafPartition : public SpatialPartition {
+ public:
+  RTreeLeafPartition(const SensorNetwork& network, int leaf_capacity = 16);
+
+  int num_regions() const override { return tree_.num_leaves(); }
+  RegionId RegionOfSensor(SensorId sensor) const override;
+  const std::vector<SensorId>& SensorsInRegion(RegionId region) const override;
+  std::vector<RegionId> RegionsInRect(const GeoRect& rect) const override;
+  std::string Name() const override;
+
+  const SensorRTree& tree() const { return tree_; }
+
+ private:
+  SensorRTree tree_;
+  int leaf_capacity_;
+};
+
+}  // namespace index
+}  // namespace atypical
+
+#endif  // ATYPICAL_INDEX_RTREE_H_

@@ -1,0 +1,275 @@
+#include "storage/cluster_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "storage/format.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace atypical {
+namespace storage {
+
+namespace {
+
+constexpr char kClusterMagic[8] = {'A', 'T', 'Y', 'P', 'C', 'F', '0', '1'};
+
+// Level tags: days are stored as-is (>= 0); weeks and months use disjoint
+// negative ranges.
+constexpr int32_t kWeekBias = 1'000'000;
+constexpr int32_t kMonthBias = 2'000'000;
+
+int32_t WeekTag(int week) { return -(week + 1) - kWeekBias; }
+int32_t MonthTag(int month) { return -(month + 1) - kMonthBias; }
+bool IsWeekTag(int32_t tag) { return tag <= -kWeekBias && tag > -kMonthBias; }
+bool IsMonthTag(int32_t tag) { return tag <= -kMonthBias; }
+int WeekFromTag(int32_t tag) { return -(tag + kWeekBias) - 1; }
+int MonthFromTag(int32_t tag) { return -(tag + kMonthBias) - 1; }
+
+// Append-only byte buffer with little-endian primitives.
+class Buffer {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU32(uint32_t v) {
+    uint8_t tmp[4];
+    detail::PutU32(tmp, v);
+    bytes_.insert(bytes_.end(), tmp, tmp + 4);
+  }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutU64(uint64_t v) {
+    uint8_t tmp[8];
+    detail::PutU64(tmp, v);
+    bytes_.insert(bytes_.end(), tmp, tmp + 8);
+  }
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Bounds-checked little-endian reader.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint32_t GetU32() {
+    if (!Need(4)) return 0;
+    const uint32_t v = detail::GetU32(data_ + pos_);
+    pos_ += 4;
+    return v;
+  }
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  uint64_t GetU64() {
+    if (!Need(8)) return 0;
+    const uint64_t v = detail::GetU64(data_ + pos_);
+    pos_ += 8;
+    return v;
+  }
+  double GetF64() {
+    const uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (pos_ + n > size_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void EncodeFeature(const FeatureVector& f, Buffer* out) {
+  const auto& entries = f.entries();
+  out->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const FeatureVector::Entry& e : entries) {
+    out->PutU32(e.key);
+    out->PutF64(e.severity);
+  }
+}
+
+bool DecodeFeature(Cursor* in, FeatureVector* out) {
+  const uint32_t count = in->GetU32();
+  if (!in->ok() || static_cast<uint64_t>(count) * 12 > in->remaining()) {
+    return false;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t key = in->GetU32();
+    const double severity = in->GetF64();
+    if (!in->ok() || severity < 0.0) return false;
+    out->Add(key, severity);
+  }
+  return in->ok();
+}
+
+void EncodeCluster(const AtypicalCluster& c, Buffer* out) {
+  out->PutU64(c.id);
+  out->PutU8(static_cast<uint8_t>(c.key_mode));
+  out->PutI32(c.first_day);
+  out->PutI32(c.last_day);
+  out->PutU64(static_cast<uint64_t>(c.num_records));
+  out->PutU64(c.dominant_true_event);
+  out->PutU64(c.left_child);
+  out->PutU64(c.right_child);
+  out->PutU32(static_cast<uint32_t>(c.micro_ids.size()));
+  for (ClusterId id : c.micro_ids) out->PutU64(id);
+  EncodeFeature(c.spatial, out);
+  EncodeFeature(c.temporal, out);
+}
+
+bool DecodeCluster(Cursor* in, AtypicalCluster* out) {
+  out->id = in->GetU64();
+  const uint8_t mode = in->GetU8();
+  if (mode > static_cast<uint8_t>(TemporalKeyMode::kTimeOfDay)) return false;
+  out->key_mode = static_cast<TemporalKeyMode>(mode);
+  out->first_day = in->GetI32();
+  out->last_day = in->GetI32();
+  out->num_records = static_cast<int64_t>(in->GetU64());
+  out->dominant_true_event = in->GetU64();
+  out->left_child = in->GetU64();
+  out->right_child = in->GetU64();
+  const uint32_t micros = in->GetU32();
+  if (!in->ok() || static_cast<uint64_t>(micros) * 8 > in->remaining()) {
+    return false;
+  }
+  out->micro_ids.reserve(micros);
+  for (uint32_t i = 0; i < micros; ++i) out->micro_ids.push_back(in->GetU64());
+  if (!DecodeFeature(in, &out->spatial)) return false;
+  if (!DecodeFeature(in, &out->temporal)) return false;
+  return in->ok();
+}
+
+}  // namespace
+
+Result<uint64_t> WriteClusterGroups(const std::vector<ClusterGroup>& groups,
+                                    const std::string& path) {
+  Buffer body;
+  body.PutU32(static_cast<uint32_t>(groups.size()));
+  for (const ClusterGroup& group : groups) {
+    body.PutI32(group.tag);
+    body.PutU32(static_cast<uint32_t>(group.clusters.size()));
+    for (const AtypicalCluster& c : group.clusters) EncodeCluster(c, &body);
+  }
+  const uint32_t crc = Crc32(body.bytes().data(), body.bytes().size());
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return IoError("cannot open for writing: " + path);
+  file.write(kClusterMagic, sizeof(kClusterMagic));
+  file.write(reinterpret_cast<const char*>(body.bytes().data()),
+             static_cast<std::streamsize>(body.bytes().size()));
+  uint8_t footer[8];
+  detail::PutU32(footer, kFooterMagic);
+  detail::PutU32(footer + 4, crc);
+  file.write(reinterpret_cast<const char*>(footer), sizeof(footer));
+  file.flush();
+  if (!file) return IoError("short write: " + path);
+  return static_cast<uint64_t>(sizeof(kClusterMagic) + body.bytes().size() +
+                               sizeof(footer));
+}
+
+Result<std::vector<ClusterGroup>> ReadClusterGroups(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return IoError("cannot open: " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(kClusterMagic) + 8) {
+    return DataLossError("truncated cluster file: " + path);
+  }
+  if (std::memcmp(bytes.data(), kClusterMagic, sizeof(kClusterMagic)) != 0) {
+    return DataLossError("bad magic (not a cluster file): " + path);
+  }
+  const uint8_t* footer = bytes.data() + bytes.size() - 8;
+  if (detail::GetU32(footer) != kFooterMagic) {
+    return DataLossError("missing footer: " + path);
+  }
+  const uint8_t* body = bytes.data() + sizeof(kClusterMagic);
+  const size_t body_size = bytes.size() - sizeof(kClusterMagic) - 8;
+  if (Crc32(body, body_size) != detail::GetU32(footer + 4)) {
+    return DataLossError("crc mismatch: " + path);
+  }
+
+  Cursor in(body, body_size);
+  const uint32_t group_count = in.GetU32();
+  std::vector<ClusterGroup> groups;
+  for (uint32_t g = 0; g < group_count && in.ok(); ++g) {
+    ClusterGroup group;
+    group.tag = in.GetI32();
+    const uint32_t cluster_count = in.GetU32();
+    for (uint32_t c = 0; c < cluster_count && in.ok(); ++c) {
+      AtypicalCluster cluster;
+      if (!DecodeCluster(&in, &cluster)) {
+        return DataLossError(
+            StrPrintf("malformed cluster %u in group %u: %s", c, g,
+                      path.c_str()));
+      }
+      group.clusters.push_back(std::move(cluster));
+    }
+    groups.push_back(std::move(group));
+  }
+  if (!in.ok() || in.remaining() != 0) {
+    return DataLossError("malformed cluster file body: " + path);
+  }
+  return groups;
+}
+
+Result<uint64_t> SaveForest(const AtypicalForest& forest,
+                            const std::string& path) {
+  std::vector<ClusterGroup> groups;
+  for (int day : forest.Days()) {
+    groups.push_back(ClusterGroup{day, forest.MicrosOfDay(day)});
+  }
+  for (int week : forest.MaterializedWeeks()) {
+    groups.push_back(ClusterGroup{WeekTag(week), forest.MacrosOfWeek(week)});
+  }
+  for (int month : forest.MaterializedMonths()) {
+    groups.push_back(
+        ClusterGroup{MonthTag(month), forest.MacrosOfMonth(month)});
+  }
+  return WriteClusterGroups(groups, path);
+}
+
+Result<AtypicalForest> LoadForest(const std::string& path,
+                                  const SensorNetwork* network,
+                                  const TimeGrid& grid,
+                                  const ForestParams& params) {
+  Result<std::vector<ClusterGroup>> groups = ReadClusterGroups(path);
+  if (!groups.ok()) return groups.status();
+  AtypicalForest forest(network, grid, params);
+  for (ClusterGroup& group : *groups) {
+    if (IsMonthTag(group.tag)) {
+      forest.InstallMonth(MonthFromTag(group.tag),
+                          std::move(group.clusters));
+    } else if (IsWeekTag(group.tag)) {
+      forest.InstallWeek(WeekFromTag(group.tag), std::move(group.clusters));
+    } else if (group.tag >= 0) {
+      forest.InstallDay(group.tag, std::move(group.clusters));
+    } else {
+      return DataLossError(
+          StrPrintf("unknown group tag %d in %s", group.tag, path.c_str()));
+    }
+  }
+  return forest;
+}
+
+}  // namespace storage
+}  // namespace atypical

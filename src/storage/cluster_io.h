@@ -1,0 +1,57 @@
+// Persistence for atypical clusters and forests.
+//
+// The atypical forest is an offline-built model (§III); deployments persist
+// it so query processing does not re-cluster history on every restart.
+// Layout:
+//   magic "ATYPCF01"
+//   u32 group_count
+//   group*  { i32 tag, u32 cluster_count, cluster* }
+//   footer  { u32 kFooterMagic, u32 crc32 of everything after the magic }
+//
+// A cluster serializes as its identity, metadata, micro-id list and both
+// feature vectors (u32 key + f64 severity per entry).  Group tags encode
+// forest levels: day d -> tag d, week w -> tag -(w+1) - kWeekBias, month m
+// -> tag -(m+1) - kMonthBias (see cluster_io.cc).
+#ifndef ATYPICAL_STORAGE_CLUSTER_IO_H_
+#define ATYPICAL_STORAGE_CLUSTER_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/forest.h"
+#include "util/status.h"
+
+namespace atypical {
+namespace storage {
+
+// A tagged group of clusters (one forest level slice).
+struct ClusterGroup {
+  int32_t tag = 0;
+  std::vector<AtypicalCluster> clusters;
+};
+
+// Writes groups to `path`; returns bytes written.
+Result<uint64_t> WriteClusterGroups(const std::vector<ClusterGroup>& groups,
+                                    const std::string& path);
+
+// Reads groups back, validating magic and checksum.
+Result<std::vector<ClusterGroup>> ReadClusterGroups(const std::string& path);
+
+// Persists a forest's day-level micro-clusters (and any materialized weekly
+// and monthly levels) to `path`.
+Result<uint64_t> SaveForest(const AtypicalForest& forest,
+                            const std::string& path);
+
+// Restores a forest saved with SaveForest.  `network`, `grid` and `params`
+// must match the deployment the forest was built for (the file stores
+// clusters, not the substrate).
+Result<AtypicalForest> LoadForest(const std::string& path,
+                                  const SensorNetwork* network,
+                                  const TimeGrid& grid,
+                                  const ForestParams& params);
+
+}  // namespace storage
+}  // namespace atypical
+
+#endif  // ATYPICAL_STORAGE_CLUSTER_IO_H_

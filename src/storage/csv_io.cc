@@ -1,0 +1,67 @@
+#include "storage/csv_io.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace atypical {
+namespace storage {
+
+Status WriteReadingsCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return IoError("cannot open for writing: " + path);
+  file << "sensor,window,speed_mph,occupancy,atypical_minutes\n";
+  for (const Reading& r : dataset.readings()) {
+    file << StrPrintf("%u,%u,%.2f,%.3f,%.1f\n", r.sensor, r.window,
+                      r.speed_mph, r.occupancy, r.atypical_minutes);
+  }
+  if (!file) return IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Status WriteAtypicalCsv(const std::vector<AtypicalRecord>& records,
+                        const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return IoError("cannot open for writing: " + path);
+  file << "sensor,window,severity_minutes\n";
+  for (const AtypicalRecord& r : records) {
+    file << StrPrintf("%u,%u,%.1f\n", r.sensor, r.window, r.severity_minutes);
+  }
+  if (!file) return IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<AtypicalRecord>> ReadAtypicalCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return IoError("cannot open: " + path);
+  std::string line;
+  if (!std::getline(file, line)) return DataLossError("empty file: " + path);
+  if (line != "sensor,window,severity_minutes") {
+    return DataLossError("unexpected CSV header in " + path + ": " + line);
+  }
+  std::vector<AtypicalRecord> out;
+  int line_no = 1;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, ',');
+    if (fields.size() != 3) {
+      return DataLossError(
+          StrPrintf("%s:%d: expected 3 fields", path.c_str(), line_no));
+    }
+    const int64_t sensor = ParseInt64(fields[0]);
+    const int64_t window = ParseInt64(fields[1]);
+    const double severity = ParseDouble(fields[2], -1.0);
+    if (sensor < 0 || window < 0 || severity < 0.0) {
+      return DataLossError(
+          StrPrintf("%s:%d: malformed row", path.c_str(), line_no));
+    }
+    out.push_back(AtypicalRecord{static_cast<SensorId>(sensor),
+                                 static_cast<WindowId>(window),
+                                 static_cast<float>(severity), kNoEvent});
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace atypical

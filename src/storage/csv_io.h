@@ -1,0 +1,29 @@
+// CSV import/export for datasets and atypical records — the interchange
+// format for users bringing their own CPS data into the library.
+#ifndef ATYPICAL_STORAGE_CSV_IO_H_
+#define ATYPICAL_STORAGE_CSV_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "cps/dataset.h"
+#include "util/status.h"
+
+namespace atypical {
+namespace storage {
+
+// Writes "sensor,window,speed_mph,occupancy,atypical_minutes" rows.
+Status WriteReadingsCsv(const Dataset& dataset, const std::string& path);
+
+// Writes "sensor,window,severity_minutes" rows.
+Status WriteAtypicalCsv(const std::vector<AtypicalRecord>& records,
+                        const std::string& path);
+
+// Parses atypical records from a CSV with a "sensor,window,severity_minutes"
+// header.  Rejects malformed rows with a DataLoss status naming the line.
+Result<std::vector<AtypicalRecord>> ReadAtypicalCsv(const std::string& path);
+
+}  // namespace storage
+}  // namespace atypical
+
+#endif  // ATYPICAL_STORAGE_CSV_IO_H_

@@ -1,0 +1,124 @@
+// On-disk dataset format.
+//
+// Layout (all integers little-endian):
+//   magic "ATYPDS01"
+//   FileHeader   { version, month, first_day, num_days, num_sensors,
+//                  window_minutes, block_records }
+//   Block*       { BlockHeader { record_count, crc32 },
+//                  record_count * kWireRecordBytes payload }
+//   Footer       { kFooterMagic, total_record_count }
+//
+// Records are fixed 28-byte encodings of cps::Reading, written field by
+// field so the format does not depend on struct layout.  Blocks let the
+// reader stream a month without loading it whole, and each block carries a
+// CRC32 of its payload so corruption is detected and localized.
+#ifndef ATYPICAL_STORAGE_FORMAT_H_
+#define ATYPICAL_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "cps/record.h"
+
+namespace atypical {
+namespace storage {
+
+inline constexpr char kMagic[8] = {'A', 'T', 'Y', 'P', 'D', 'S', '0', '1'};
+inline constexpr uint32_t kFooterMagic = 0x53444e45;  // "ENDS"
+inline constexpr uint32_t kDefaultBlockRecords = 65536;
+inline constexpr size_t kWireRecordBytes = 28;
+inline constexpr size_t kFileHeaderBytes = 28;
+inline constexpr size_t kBlockHeaderBytes = 8;
+inline constexpr size_t kFooterBytes = 12;
+
+// File header following the 8-byte magic.
+struct FileHeader {
+  uint32_t version = 1;
+  int32_t month_index = 0;
+  int32_t first_day = 0;
+  int32_t num_days = 0;
+  int32_t num_sensors = 0;
+  int32_t window_minutes = 5;
+  uint32_t block_records = kDefaultBlockRecords;
+};
+
+struct BlockHeader {
+  uint32_t record_count = 0;
+  uint32_t crc32 = 0;
+};
+
+struct Footer {
+  uint32_t magic = kFooterMagic;
+  uint64_t total_records = 0;
+};
+
+namespace detail {
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+inline void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+inline void PutF32(uint8_t* p, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(p, bits);
+}
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+inline float GetF32(const uint8_t* p) {
+  const uint32_t bits = GetU32(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace detail
+
+// Encodes a Reading into exactly kWireRecordBytes at `out`.
+inline void EncodeRecord(const Reading& r, uint8_t* out) {
+  detail::PutU32(out, r.sensor);
+  detail::PutU32(out + 4, r.window);
+  detail::PutF32(out + 8, r.speed_mph);
+  detail::PutF32(out + 12, r.occupancy);
+  detail::PutF32(out + 16, r.atypical_minutes);
+  detail::PutU64(out + 20, r.true_event);
+}
+
+// Decodes a Reading from kWireRecordBytes at `in`.
+inline Reading DecodeRecord(const uint8_t* in) {
+  Reading r;
+  r.sensor = detail::GetU32(in);
+  r.window = detail::GetU32(in + 4);
+  r.speed_mph = detail::GetF32(in + 8);
+  r.occupancy = detail::GetF32(in + 12);
+  r.atypical_minutes = detail::GetF32(in + 16);
+  r.true_event = detail::GetU64(in + 20);
+  return r;
+}
+
+void EncodeFileHeader(const FileHeader& h, uint8_t* out);  // kFileHeaderBytes
+FileHeader DecodeFileHeader(const uint8_t* in);
+void EncodeBlockHeader(const BlockHeader& h, uint8_t* out);
+BlockHeader DecodeBlockHeader(const uint8_t* in);
+void EncodeFooter(const Footer& f, uint8_t* out);  // kFooterBytes
+Footer DecodeFooter(const uint8_t* in);
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace storage
+}  // namespace atypical
+
+#endif  // ATYPICAL_STORAGE_FORMAT_H_

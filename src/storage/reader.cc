@@ -1,0 +1,148 @@
+#include "storage/reader.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace atypical {
+namespace storage {
+
+Result<DatasetReader> DatasetReader::Open(const std::string& path) {
+  DatasetReader reader;
+  reader.path_ = path;
+  reader.file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*reader.file_) return IoError("cannot open: " + path);
+
+  char magic[sizeof(kMagic)];
+  reader.file_->read(magic, sizeof(magic));
+  if (reader.file_->gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError("bad magic (not an atypical dataset): " + path);
+  }
+
+  uint8_t header_buf[kFileHeaderBytes];
+  reader.file_->read(reinterpret_cast<char*>(header_buf), sizeof(header_buf));
+  if (reader.file_->gcount() != static_cast<std::streamsize>(
+                                    sizeof(header_buf))) {
+    return DataLossError("truncated header: " + path);
+  }
+  const FileHeader header = DecodeFileHeader(header_buf);
+  if (header.version != 1) {
+    return DataLossError(
+        StrPrintf("unsupported version %u in %s", header.version,
+                  path.c_str()));
+  }
+  if (header.window_minutes <= 0 || 1440 % header.window_minutes != 0 ||
+      header.num_days < 0 || header.num_sensors < 0 ||
+      header.block_records == 0) {
+    return DataLossError("implausible header fields: " + path);
+  }
+
+  reader.meta_.month_index = header.month_index;
+  reader.meta_.first_day = header.first_day;
+  reader.meta_.num_days = header.num_days;
+  reader.meta_.num_sensors = header.num_sensors;
+  reader.meta_.time_grid = TimeGrid(header.window_minutes);
+  reader.meta_.name = StrPrintf("D%d", header.month_index + 1);
+  return reader;
+}
+
+Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
+  out->clear();
+  if (saw_footer_) return false;
+
+  uint8_t head_buf[kFooterBytes];  // big enough for either header or footer
+  file_->read(reinterpret_cast<char*>(head_buf), kBlockHeaderBytes);
+  if (file_->gcount() != static_cast<std::streamsize>(kBlockHeaderBytes)) {
+    return DataLossError("truncated block header: " + path_);
+  }
+
+  // Disambiguate footer vs block: the footer starts with kFooterMagic, a
+  // value far larger than any sane record_count.  Peek the first field.
+  const uint32_t first_word = detail::GetU32(head_buf);
+  if (first_word == kFooterMagic) {
+    // Read the rest of the footer.
+    file_->read(reinterpret_cast<char*>(head_buf + kBlockHeaderBytes),
+                kFooterBytes - kBlockHeaderBytes);
+    if (file_->gcount() !=
+        static_cast<std::streamsize>(kFooterBytes - kBlockHeaderBytes)) {
+      return DataLossError("truncated footer: " + path_);
+    }
+    const Footer footer = DecodeFooter(head_buf);
+    saw_footer_ = true;
+    footer_total_ = footer.total_records;
+    if (footer.total_records != records_read_) {
+      return DataLossError(StrPrintf(
+          "footer record count %llu != records read %llu in %s",
+          (unsigned long long)footer.total_records,
+          (unsigned long long)records_read_, path_.c_str()));
+    }
+    return false;
+  }
+
+  const BlockHeader block = DecodeBlockHeader(head_buf);
+  if (block.record_count == 0) {
+    return DataLossError("empty block: " + path_);
+  }
+  std::vector<uint8_t> payload(static_cast<size_t>(block.record_count) *
+                               kWireRecordBytes);
+  file_->read(reinterpret_cast<char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  if (file_->gcount() != static_cast<std::streamsize>(payload.size())) {
+    return DataLossError("truncated block payload: " + path_);
+  }
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  if (crc != block.crc32) {
+    return DataLossError(
+        StrPrintf("crc mismatch in %s (got %08x want %08x)", path_.c_str(),
+                  crc, block.crc32));
+  }
+  out->reserve(block.record_count);
+  for (uint32_t i = 0; i < block.record_count; ++i) {
+    out->push_back(DecodeRecord(payload.data() + i * kWireRecordBytes));
+  }
+  records_read_ += block.record_count;
+  return true;
+}
+
+Result<Dataset> DatasetReader::ReadAll() {
+  std::vector<Reading> all;
+  std::vector<Reading> block;
+  while (true) {
+    Result<bool> more = NextBlock(&block);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    all.insert(all.end(), block.begin(), block.end());
+  }
+  if (!saw_footer_) return DataLossError("missing footer: " + path_);
+  return Dataset(meta_, std::move(all));
+}
+
+Result<int64_t> DatasetReader::ScanAtypical(
+    const std::function<void(const AtypicalRecord&)>& fn) {
+  int64_t scanned = 0;
+  std::vector<Reading> block;
+  while (true) {
+    Result<bool> more = NextBlock(&block);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    for (const Reading& r : block) {
+      ++scanned;
+      if (r.is_atypical()) {
+        fn(AtypicalRecord{r.sensor, r.window, r.atypical_minutes,
+                          r.true_event});
+      }
+    }
+  }
+  if (!saw_footer_) return DataLossError("missing footer: " + path_);
+  return scanned;
+}
+
+Result<Dataset> ReadDataset(const std::string& path) {
+  Result<DatasetReader> reader = DatasetReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  return reader->ReadAll();
+}
+
+}  // namespace storage
+}  // namespace atypical

@@ -1,0 +1,63 @@
+// Streaming dataset reader.
+//
+// `DatasetReader` validates the magic, header, per-block CRCs and the footer
+// and exposes the data either block-by-block (so the pre-processing scan can
+// run without materializing a month) or as a whole `Dataset`.
+#ifndef ATYPICAL_STORAGE_READER_H_
+#define ATYPICAL_STORAGE_READER_H_
+
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cps/dataset.h"
+#include "storage/format.h"
+#include "util/status.h"
+
+namespace atypical {
+namespace storage {
+
+class DatasetReader {
+ public:
+  // Opens `path` and validates the magic and header.
+  static Result<DatasetReader> Open(const std::string& path);
+
+  DatasetReader(DatasetReader&&) = default;
+  DatasetReader& operator=(DatasetReader&&) = default;
+
+  const DatasetMeta& meta() const { return meta_; }
+
+  // Reads the next block into `out` (replacing its contents).  Returns true
+  // when a block was read, false at end of data.  CRC failures and
+  // truncation surface as error Status.
+  Result<bool> NextBlock(std::vector<Reading>* out);
+
+  // Reads all remaining blocks and the footer into a Dataset.
+  Result<Dataset> ReadAll();
+
+  // Streams the whole file, invoking `fn` for every atypical record (the
+  // paper's pre-processing step PR: one full scan selecting atypical data).
+  // Returns the number of readings scanned.
+  Result<int64_t> ScanAtypical(
+      const std::function<void(const AtypicalRecord&)>& fn);
+
+ private:
+  DatasetReader() = default;
+
+  std::unique_ptr<std::ifstream> file_;
+  std::string path_;
+  DatasetMeta meta_;
+  uint64_t records_read_ = 0;
+  bool saw_footer_ = false;
+  uint64_t footer_total_ = 0;
+};
+
+// Convenience wrapper: open + ReadAll.
+Result<Dataset> ReadDataset(const std::string& path);
+
+}  // namespace storage
+}  // namespace atypical
+
+#endif  // ATYPICAL_STORAGE_READER_H_

@@ -1,0 +1,152 @@
+#include "storage/writer.h"
+
+#include <fstream>
+#include <vector>
+
+#include "storage/format.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace storage {
+
+namespace {
+
+// CRC-32 table, computed once.
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static const bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint32_t* table = CrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void EncodeFileHeader(const FileHeader& h, uint8_t* out) {
+  detail::PutU32(out, h.version);
+  detail::PutU32(out + 4, static_cast<uint32_t>(h.month_index));
+  detail::PutU32(out + 8, static_cast<uint32_t>(h.first_day));
+  detail::PutU32(out + 12, static_cast<uint32_t>(h.num_days));
+  detail::PutU32(out + 16, static_cast<uint32_t>(h.num_sensors));
+  detail::PutU32(out + 20, static_cast<uint32_t>(h.window_minutes));
+  detail::PutU32(out + 24, h.block_records);
+}
+
+FileHeader DecodeFileHeader(const uint8_t* in) {
+  FileHeader h;
+  h.version = detail::GetU32(in);
+  h.month_index = static_cast<int32_t>(detail::GetU32(in + 4));
+  h.first_day = static_cast<int32_t>(detail::GetU32(in + 8));
+  h.num_days = static_cast<int32_t>(detail::GetU32(in + 12));
+  h.num_sensors = static_cast<int32_t>(detail::GetU32(in + 16));
+  h.window_minutes = static_cast<int32_t>(detail::GetU32(in + 20));
+  h.block_records = detail::GetU32(in + 24);
+  return h;
+}
+
+void EncodeBlockHeader(const BlockHeader& h, uint8_t* out) {
+  detail::PutU32(out, h.record_count);
+  detail::PutU32(out + 4, h.crc32);
+}
+
+BlockHeader DecodeBlockHeader(const uint8_t* in) {
+  BlockHeader h;
+  h.record_count = detail::GetU32(in);
+  h.crc32 = detail::GetU32(in + 4);
+  return h;
+}
+
+void EncodeFooter(const Footer& f, uint8_t* out) {
+  detail::PutU32(out, f.magic);
+  detail::PutU64(out + 4, f.total_records);
+}
+
+Footer DecodeFooter(const uint8_t* in) {
+  Footer f;
+  f.magic = detail::GetU32(in);
+  f.total_records = detail::GetU64(in + 4);
+  return f;
+}
+
+Result<uint64_t> WriteDataset(const Dataset& dataset, const std::string& path,
+                              const WriterOptions& options) {
+  if (options.block_records == 0) {
+    return InvalidArgumentError("block_records must be positive");
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return IoError("cannot open for writing: " + path);
+
+  uint64_t bytes = 0;
+  auto write = [&](const void* data, size_t size) {
+    file.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    bytes += size;
+  };
+
+  write(kMagic, sizeof(kMagic));
+
+  const DatasetMeta& meta = dataset.meta();
+  FileHeader header;
+  header.month_index = meta.month_index;
+  header.first_day = meta.first_day;
+  header.num_days = meta.num_days;
+  header.num_sensors = meta.num_sensors;
+  header.window_minutes = meta.time_grid.window_minutes();
+  header.block_records = options.block_records;
+  uint8_t header_buf[kFileHeaderBytes];
+  EncodeFileHeader(header, header_buf);
+  write(header_buf, sizeof(header_buf));
+
+  const std::vector<Reading>& readings = dataset.readings();
+  std::vector<uint8_t> payload;
+  payload.reserve(static_cast<size_t>(options.block_records) *
+                  kWireRecordBytes);
+  size_t pos = 0;
+  while (pos < readings.size()) {
+    const size_t count =
+        std::min<size_t>(options.block_records, readings.size() - pos);
+    payload.resize(count * kWireRecordBytes);
+    for (size_t i = 0; i < count; ++i) {
+      EncodeRecord(readings[pos + i], payload.data() + i * kWireRecordBytes);
+    }
+    BlockHeader block;
+    block.record_count = static_cast<uint32_t>(count);
+    block.crc32 = Crc32(payload.data(), payload.size());
+    uint8_t block_buf[kBlockHeaderBytes];
+    EncodeBlockHeader(block, block_buf);
+    write(block_buf, sizeof(block_buf));
+    write(payload.data(), payload.size());
+    pos += count;
+  }
+
+  Footer footer;
+  footer.total_records = readings.size();
+  uint8_t footer_buf[kFooterBytes];
+  EncodeFooter(footer, footer_buf);
+  write(footer_buf, sizeof(footer_buf));
+
+  file.flush();
+  if (!file) return IoError("short write: " + path);
+  return bytes;
+}
+
+}  // namespace storage
+}  // namespace atypical

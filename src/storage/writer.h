@@ -1,0 +1,26 @@
+// Dataset file writer.
+#ifndef ATYPICAL_STORAGE_WRITER_H_
+#define ATYPICAL_STORAGE_WRITER_H_
+
+#include <string>
+
+#include "cps/dataset.h"
+#include "storage/format.h"
+#include "util/status.h"
+
+namespace atypical {
+namespace storage {
+
+struct WriterOptions {
+  uint32_t block_records = kDefaultBlockRecords;
+};
+
+// Writes `dataset` to `path` in the block format described in format.h.
+// Returns the number of bytes written.
+Result<uint64_t> WriteDataset(const Dataset& dataset, const std::string& path,
+                              const WriterOptions& options = {});
+
+}  // namespace storage
+}  // namespace atypical
+
+#endif  // ATYPICAL_STORAGE_WRITER_H_

@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace atypical {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddNumericRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(StrPrintf("%.*f", precision, v));
+  AddRow(std::move(text));
+}
+
+std::string Table::ToAlignedString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += i == 0 ? "| " : " | ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t w : widths) rule += std::string(w + 2, '-') + "|";
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsvString() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvEscape(row[i]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return IoError("cannot open for writing: " + path);
+  const std::string body = ToCsvString();
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!file) return IoError("short write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace atypical

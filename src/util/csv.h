@@ -1,0 +1,46 @@
+// Table output helpers for the benchmark harness.
+//
+// Every figure-reproduction bench emits (a) an aligned console table and
+// (b) an optional CSV file, so results can be inspected and re-plotted.
+#ifndef ATYPICAL_UTIL_CSV_H_
+#define ATYPICAL_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace atypical {
+
+// Collects rows of string cells and renders them.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` digits after the point.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Renders an aligned, pipe-separated console table.
+  std::string ToAlignedString() const;
+
+  // Renders RFC-4180-ish CSV (cells containing comma/quote/newline quoted).
+  std::string ToCsvString() const;
+
+  // Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_UTIL_CSV_H_

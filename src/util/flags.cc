@@ -1,0 +1,82 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace atypical {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  bool saw_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      saw_flag = true;
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg.substr(2)] = argv[++i];
+      } else {
+        values_[arg.substr(2)] = "true";  // boolean flag
+      }
+    } else if (!saw_flag) {
+      positional_.push_back(arg);
+    } else {
+      error_ = "unexpected argument after flags: " + arg;
+    }
+  }
+  for (const auto& [name, _] : values_) read_[name] = false;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  std::string fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  const int64_t value = ParseInt64(it->second);
+  if (value < 0) {
+    error_ = "flag --" + name + " expects a non-negative integer, got '" +
+             it->second + "'";
+    return fallback;
+  }
+  return value;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  const double kSentinel = -1.2345e300;
+  const double value = ParseDouble(it->second, kSentinel);
+  if (value == kSentinel) {
+    error_ = "flag --" + name + " expects a number, got '" + it->second + "'";
+    return fallback;
+  }
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  error_ = "flag --" + name + " expects true/false, got '" + it->second + "'";
+  return fallback;
+}
+
+std::vector<std::string> FlagParser::UnreadFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [name, was_read] : read_) {
+    if (!was_read) unread.push_back(name);
+  }
+  return unread;
+}
+
+}  // namespace atypical

@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the CLI and examples.
+//
+//   FlagParser flags(argc, argv);
+//   const std::string out = flags.GetString("out", "data/");
+//   const int months = static_cast<int>(flags.GetInt("months", 3));
+//   if (!flags.ok()) { ... flags.error() ... }
+//
+// Accepted forms: --name=value, --name value, --name (boolean true).
+// Everything before the first --flag is a positional argument.
+#ifndef ATYPICAL_UTIL_FLAGS_H_
+#define ATYPICAL_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atypical {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  // Parse-time diagnostics (unknown forms like "-x" set an error).
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Positional arguments in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  // Typed getters; malformed values record an error and return `fallback`.
+  std::string GetString(const std::string& name, std::string fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  // Flags present on the command line but never read by a getter; callers
+  // use this to reject typos.
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> read_;
+  mutable std::string error_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_UTIL_FLAGS_H_

@@ -1,0 +1,92 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+namespace atypical {
+
+namespace {
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(
+      g_min_severity.load(std::memory_order_relaxed));
+}
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+namespace internal_status {
+void DieBadResultAccess(const Status& status) {
+  LOG(FATAL) << "Result accessed with error status: " << status.ToString();
+  std::abort();  // not reached; LOG(FATAL) aborts.
+}
+}  // namespace internal_status
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const bool enabled =
+      static_cast<int>(severity_) >=
+          g_min_severity.load(std::memory_order_relaxed) ||
+      severity_ == LogSeverity::kFatal;
+  if (enabled) {
+    // Strip directories from the file name for compact output.
+    const char* base = file_;
+    for (const char* p = file_; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), base,
+                 line_, stream_.str().c_str());
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace atypical

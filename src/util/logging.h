@@ -1,0 +1,105 @@
+// Minimal logging and assertion macros.
+//
+//   LOG(INFO) << "built " << n << " clusters";
+//   CHECK(ptr != nullptr) << "cluster must exist";
+//   CHECK_EQ(a, b);
+//
+// FATAL logs abort the process.  CHECK macros are always on (they guard
+// internal invariants, not user input; user input errors surface as Status).
+#ifndef ATYPICAL_UTIL_LOGGING_H_
+#define ATYPICAL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace atypical {
+
+enum class LogSeverity : int { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Minimum severity that is actually written to stderr (default kInfo).
+// Benches raise this to keep tables clean.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns a streamed expression into void so CHECK can live in a ternary.
+// operator& binds looser than operator<<, so the whole chained message is
+// evaluated first.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace atypical
+
+#define ATYPICAL_LOG_INFO                                         \
+  ::atypical::internal_logging::LogMessage(                       \
+      ::atypical::LogSeverity::kInfo, __FILE__, __LINE__)         \
+      .stream()
+#define ATYPICAL_LOG_WARNING                                      \
+  ::atypical::internal_logging::LogMessage(                       \
+      ::atypical::LogSeverity::kWarning, __FILE__, __LINE__)      \
+      .stream()
+#define ATYPICAL_LOG_ERROR                                        \
+  ::atypical::internal_logging::LogMessage(                       \
+      ::atypical::LogSeverity::kError, __FILE__, __LINE__)        \
+      .stream()
+#define ATYPICAL_LOG_FATAL                                        \
+  ::atypical::internal_logging::LogMessage(                       \
+      ::atypical::LogSeverity::kFatal, __FILE__, __LINE__)        \
+      .stream()
+
+#define LOG(severity) ATYPICAL_LOG_##severity
+
+#define CHECK(condition)                                          \
+  (condition) ? (void)0                                           \
+              : ::atypical::internal_logging::Voidify() &         \
+                    ::atypical::internal_logging::LogMessage(     \
+                        ::atypical::LogSeverity::kFatal,          \
+                        __FILE__, __LINE__)                       \
+                            .stream()                             \
+                        << "Check failed: " #condition " "
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+// Checks that an expression returning Status is OK.
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    ::atypical::Status _st = (expr);                              \
+    CHECK(_st.ok()) << _st.ToString();                            \
+  } while (false)
+
+#endif  // ATYPICAL_UTIL_LOGGING_H_

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for the synthetic workload.
+//
+// The generator must be reproducible across platforms and runs (benches and
+// tests fix seeds), so we avoid std::mt19937 + std::*_distribution, whose
+// outputs are not specified identically across standard libraries, and use a
+// small SplitMix64-based engine with explicitly-coded distributions instead.
+#ifndef ATYPICAL_UTIL_RANDOM_H_
+#define ATYPICAL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atypical {
+
+// SplitMix64: tiny, fast, passes BigCrush; one 64-bit word of state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  // Next raw 64 random bits.
+  uint64_t Next64();
+
+  // Uniform in [0, 1).
+  double Uniform();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).  n must be > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (deterministic, no cached spare).
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  // Bernoulli trial.
+  bool Bernoulli(double p);
+
+  // Poisson-distributed count (Knuth for small lambda, normal approximation
+  // for large lambda).
+  int Poisson(double lambda);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // All weights must be >= 0 with a positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Derives an independent child generator; stable for (seed, stream) pairs.
+  Rng Fork(uint64_t stream);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_UTIL_RANDOM_H_

@@ -1,0 +1,153 @@
+// Lightweight error-handling primitives used across the library.
+//
+// The library does not throw exceptions across API boundaries.  Fallible
+// operations return a `Status`, or a `Result<T>` when they also produce a
+// value.  Both are cheap to move and carry a code plus a human-readable
+// message.
+//
+// Example:
+//   Result<Dataset> ds = reader.Read(path);
+//   if (!ds.ok()) return ds.status();
+//   Use(ds.value());
+#ifndef ATYPICAL_UTIL_STATUS_H_
+#define ATYPICAL_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace atypical {
+
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kDataLoss,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic error descriptor.  An OK status carries no message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code_name>: <message>".
+  std::string ToString() const {
+    if (ok()) return "ok";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// A value or an error.  Accessing `value()` on an error result aborts (the
+// caller must check `ok()` first); this mirrors the CHECK discipline used
+// throughout the library.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : state_(std::move(value)) {}
+  Result(Status status) : state_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> state_;
+};
+
+namespace internal_status {
+// Out-of-line abort keeps Result<T> accessors small.  Defined in logging.cc
+// to reuse the fatal-log machinery.
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal_status::DieBadResultAccess(std::get<Status>(state_));
+}
+
+// Propagates a non-OK status from an expression producing a Status.
+#define ATYPICAL_RETURN_IF_ERROR(expr)                   \
+  do {                                                   \
+    ::atypical::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                           \
+  } while (false)
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by benches to report construction/query costs.
+#ifndef ATYPICAL_UTIL_STOPWATCH_H_
+#define ATYPICAL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace atypical {
+
+// Measures elapsed wall time.  Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_UTIL_STOPWATCH_H_

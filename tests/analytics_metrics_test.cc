@@ -1,0 +1,155 @@
+// Precision/recall protocols on hand-built cluster sets with known masses.
+#include "analytics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/ground_truth.h"
+
+namespace atypical {
+namespace analytics {
+namespace {
+
+// Builds a macro-cluster from (micro id, severity) pairs; the macro's own
+// severity is the sum.
+AtypicalCluster Macro(ClusterId id,
+                      std::vector<std::pair<ClusterId, double>> micros) {
+  AtypicalCluster c;
+  c.id = id;
+  double total = 0.0;
+  for (const auto& [mid, severity] : micros) {
+    c.micro_ids.push_back(mid);
+    total += severity;
+  }
+  c.spatial.Add(1, total);  // severity carrier
+  return c;
+}
+
+struct Fixture {
+  QueryResult all;
+  std::map<ClusterId, double> micro_severity;
+  GroundTruth gt;
+};
+
+// Universe: micros 1..6 with severities 100, 90, 80, 5, 4, 3.
+// All's macros: G1 = {1,2} (190), G2 = {3} (80), T1 = {4,5} (9), T2 = {6} (3).
+// Threshold 50 -> significant: G1, G2 (mass 270 of 282).
+Fixture MakeFixture() {
+  Fixture f;
+  f.micro_severity = {{1, 100.0}, {2, 90.0}, {3, 80.0},
+                      {4, 5.0},   {5, 4.0},  {6, 3.0}};
+  f.all.threshold = 50.0;
+  f.all.clusters.push_back(Macro(101, {{1, 100.0}, {2, 90.0}}));
+  f.all.clusters.push_back(Macro(102, {{3, 80.0}}));
+  f.all.clusters.push_back(Macro(103, {{4, 5.0}, {5, 4.0}}));
+  f.all.clusters.push_back(Macro(104, {{6, 3.0}}));
+  f.gt = ComputeGroundTruth(f.all);
+  return f;
+}
+
+TEST(GroundTruthTest, ExtractsSignificantClustersAndMicros) {
+  const Fixture f = MakeFixture();
+  ASSERT_EQ(f.gt.significant.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.gt.significant_mass, 270.0);
+  EXPECT_EQ(f.gt.threshold, 50.0);
+  EXPECT_TRUE(f.gt.significant_micros.contains(1));
+  EXPECT_TRUE(f.gt.significant_micros.contains(2));
+  EXPECT_TRUE(f.gt.significant_micros.contains(3));
+  EXPECT_FALSE(f.gt.significant_micros.contains(4));
+}
+
+TEST(EvaluateMassTest, AllScoresItsOwnMassFractions) {
+  const Fixture f = MakeFixture();
+  const PrecisionRecall pr = EvaluateMass(f.all, f.gt, f.micro_severity);
+  EXPECT_DOUBLE_EQ(pr.precision, 270.0 / 282.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_EQ(pr.returned_clusters, 4u);
+  EXPECT_EQ(pr.true_significant, 2u);
+}
+
+TEST(EvaluateMassTest, PruneStyleResultLosesRecallKeepsPrecision) {
+  const Fixture f = MakeFixture();
+  // A Pru-like result: only the biggest micros survived.
+  QueryResult pru;
+  pru.threshold = 50.0;
+  pru.clusters.push_back(Macro(201, {{1, 100.0}}));
+  pru.clusters.push_back(Macro(202, {{3, 80.0}}));
+  const PrecisionRecall pr = EvaluateMass(pru, f.gt, f.micro_severity);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);  // everything returned is GT mass
+  EXPECT_DOUBLE_EQ(pr.recall, 180.0 / 270.0);  // micro 2's mass missing
+}
+
+TEST(EvaluateMassTest, NoiseOnlyResultScoresZeroPrecision) {
+  const Fixture f = MakeFixture();
+  QueryResult noise;
+  noise.threshold = 50.0;
+  noise.clusters.push_back(Macro(301, {{4, 5.0}, {6, 3.0}}));
+  const PrecisionRecall pr = EvaluateMass(noise, f.gt, f.micro_severity);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(EvaluateMassTest, EmptyResult) {
+  const Fixture f = MakeFixture();
+  QueryResult empty;
+  empty.threshold = 50.0;
+  const PrecisionRecall pr = EvaluateMass(empty, f.gt, f.micro_severity);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(EvaluateMassTest, EmptyGroundTruthGivesRecallOne) {
+  QueryResult all;
+  all.threshold = 1e9;
+  all.clusters.push_back(Macro(1, {{1, 10.0}}));
+  const GroundTruth gt = ComputeGroundTruth(all);
+  EXPECT_TRUE(gt.significant.empty());
+  const std::map<ClusterId, double> severities = {{1, 10.0}};
+  const PrecisionRecall pr = EvaluateMass(all, gt, severities);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+}
+
+TEST(EvaluateClusterMatchTest, AllMatchesItself) {
+  const Fixture f = MakeFixture();
+  const PrecisionRecall pr =
+      EvaluateClusterMatch(f.all, f.gt, f.micro_severity);
+  // G1 and G2 match themselves; T1, T2 match nothing.
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(EvaluateClusterMatchTest, PartialRecoveryHonorsOverlapThreshold) {
+  const Fixture f = MakeFixture();
+  // Returned cluster recovers only micro 2 (90 of G1's 190 = 47%).
+  QueryResult partial;
+  partial.clusters.push_back(Macro(401, {{2, 90.0}}));
+  ClusterMatchParams strict;
+  strict.overlap = 0.5;
+  PrecisionRecall pr =
+      EvaluateClusterMatch(partial, f.gt, f.micro_severity, strict);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  ClusterMatchParams loose;
+  loose.overlap = 0.4;
+  pr = EvaluateClusterMatch(partial, f.gt, f.micro_severity, loose);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);  // G1 of {G1, G2}
+}
+
+TEST(EvaluateClusterMatchTest, FragmentedReturnStillRecoversGt) {
+  const Fixture f = MakeFixture();
+  // G1 returned as two fragments, each > 40% of G1.
+  QueryResult fragmented;
+  fragmented.clusters.push_back(Macro(501, {{1, 100.0}}));
+  fragmented.clusters.push_back(Macro(502, {{2, 90.0}}));
+  ClusterMatchParams params;
+  params.overlap = 0.4;
+  const PrecisionRecall pr =
+      EvaluateClusterMatch(fragmented, f.gt, f.micro_severity, params);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace atypical

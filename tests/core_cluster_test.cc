@@ -1,0 +1,210 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace atypical {
+namespace {
+
+TEST(FeatureVectorTest, StartsEmpty) {
+  FeatureVector f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_DOUBLE_EQ(f.total(), 0.0);
+  EXPECT_DOUBLE_EQ(f.Get(5), 0.0);
+  EXPECT_FALSE(f.Contains(5));
+}
+
+TEST(FeatureVectorTest, AddAccumulatesPerKey) {
+  FeatureVector f;
+  f.Add(3, 2.0);
+  f.Add(1, 1.0);
+  f.Add(3, 4.0);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.Get(3), 6.0);
+  EXPECT_DOUBLE_EQ(f.Get(1), 1.0);
+  EXPECT_DOUBLE_EQ(f.total(), 7.0);
+}
+
+TEST(FeatureVectorTest, ZeroSeverityIsIgnored) {
+  FeatureVector f;
+  f.Add(1, 0.0);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FeatureVectorTest, EntriesSortedByKey) {
+  FeatureVector f;
+  f.Add(9, 1.0);
+  f.Add(2, 1.0);
+  f.Add(5, 1.0);
+  f.Add(2, 1.0);
+  const auto& entries = f.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, 2u);
+  EXPECT_EQ(entries[1].key, 5u);
+  EXPECT_EQ(entries[2].key, 9u);
+  EXPECT_DOUBLE_EQ(entries[0].severity, 2.0);
+}
+
+TEST(FeatureVectorTest, InOrderAppendsFastPath) {
+  FeatureVector f;
+  for (uint32_t k = 0; k < 100; ++k) f.Add(k, 1.0);
+  EXPECT_EQ(f.size(), 100u);
+  EXPECT_DOUBLE_EQ(f.total(), 100.0);
+}
+
+TEST(FeatureVectorTest, CommonSeverityOverSharedKeys) {
+  FeatureVector a;
+  a.Add(1, 10.0);
+  a.Add(2, 20.0);
+  a.Add(3, 30.0);
+  FeatureVector b;
+  b.Add(2, 5.0);
+  b.Add(3, 7.0);
+  b.Add(4, 100.0);
+  const auto [mine, theirs] = a.CommonSeverity(b);
+  EXPECT_DOUBLE_EQ(mine, 50.0);   // a's severity on keys {2,3}
+  EXPECT_DOUBLE_EQ(theirs, 12.0);  // b's severity on keys {2,3}
+}
+
+TEST(FeatureVectorTest, CommonSeverityDisjointIsZero) {
+  FeatureVector a;
+  a.Add(1, 10.0);
+  FeatureVector b;
+  b.Add(2, 10.0);
+  const auto [mine, theirs] = a.CommonSeverity(b);
+  EXPECT_DOUBLE_EQ(mine, 0.0);
+  EXPECT_DOUBLE_EQ(theirs, 0.0);
+}
+
+TEST(FeatureVectorTest, MergeFollowsEq5) {
+  FeatureVector a;
+  a.Add(1, 10.0);
+  a.Add(2, 20.0);
+  FeatureVector b;
+  b.Add(2, 5.0);
+  b.Add(4, 3.0);
+  const FeatureVector merged = FeatureVector::Merge(a, b);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.Get(1), 10.0);  // carried over
+  EXPECT_DOUBLE_EQ(merged.Get(2), 25.0);  // accumulated (common key)
+  EXPECT_DOUBLE_EQ(merged.Get(4), 3.0);   // carried over
+  EXPECT_DOUBLE_EQ(merged.total(), a.total() + b.total());
+}
+
+TEST(FeatureVectorTest, MergeWithEmpty) {
+  FeatureVector a;
+  a.Add(1, 2.0);
+  const FeatureVector empty;
+  EXPECT_EQ(FeatureVector::Merge(a, empty), a);
+  EXPECT_EQ(FeatureVector::Merge(empty, a), a);
+}
+
+TEST(FeatureVectorTest, TopReturnsHighestSeverity) {
+  FeatureVector f;
+  f.Add(1, 5.0);
+  f.Add(2, 50.0);
+  f.Add(3, 12.0);
+  EXPECT_EQ(f.Top().key, 2u);
+  EXPECT_DOUBLE_EQ(f.Top().severity, 50.0);
+}
+
+TEST(FeatureVectorTest, TopEntriesOrderedDescending) {
+  FeatureVector f;
+  f.Add(1, 5.0);
+  f.Add(2, 50.0);
+  f.Add(3, 12.0);
+  f.Add(4, 12.0);
+  const auto top = f.TopEntries(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 2u);
+  EXPECT_EQ(top[1].key, 3u);  // tie broken by key
+  EXPECT_EQ(top[2].key, 4u);
+}
+
+TEST(FeatureVectorDeathTest, TopOnEmptyDies) {
+  const FeatureVector f;
+  EXPECT_DEATH((void)f.Top(), "Check failed");
+}
+
+TEST(FeatureVectorDeathTest, NegativeSeverityDies) {
+  FeatureVector f;
+  EXPECT_DEATH(f.Add(1, -1.0), "Check failed");
+}
+
+TEST(FeatureVectorTest, RandomizedAddMatchesReferenceMap) {
+  Rng rng(77);
+  FeatureVector f;
+  std::map<uint32_t, double> reference;
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.UniformInt(uint64_t{64}));
+    const double severity = rng.Uniform(0.1, 5.0);
+    f.Add(key, severity);
+    reference[key] += severity;
+  }
+  ASSERT_EQ(f.size(), reference.size());
+  double total = 0.0;
+  for (const auto& [key, severity] : reference) {
+    EXPECT_NEAR(f.Get(key), severity, 1e-9);
+    total += severity;
+  }
+  EXPECT_NEAR(f.total(), total, 1e-6);
+}
+
+TEST(AtypicalClusterTest, SeverityInvariantHoldsByConstruction) {
+  // Σμ == Σν: both features distribute the same record severities.
+  AtypicalCluster c;
+  struct Rec {
+    uint32_t sensor;
+    uint32_t window;
+    double severity;
+  };
+  const std::vector<Rec> recs = {
+      {1, 10, 4.0}, {1, 11, 5.0}, {2, 11, 5.0}, {3, 12, 5.0}, {4, 12, 2.0}};
+  for (const Rec& r : recs) {
+    c.spatial.Add(r.sensor, r.severity);
+    c.temporal.Add(r.window, r.severity);
+  }
+  EXPECT_DOUBLE_EQ(c.spatial.total(), c.temporal.total());
+  EXPECT_DOUBLE_EQ(c.severity(), 21.0);
+  EXPECT_EQ(c.num_sensors(), 4);
+  EXPECT_EQ(c.num_windows(), 3);
+}
+
+TEST(AtypicalClusterTest, DebugStringMentionsKeyFacts) {
+  AtypicalCluster c;
+  c.id = 7;
+  c.spatial.Add(12, 182.0);
+  c.temporal.Add(32, 182.0);  // window 32 of a 15-min grid = 8:00am
+  c.key_mode = TemporalKeyMode::kTimeOfDay;
+  c.micro_ids = {7};
+  const std::string s = c.DebugString(TimeGrid(15));
+  EXPECT_NE(s.find("cluster 7"), std::string::npos);
+  EXPECT_NE(s.find("s12"), std::string::npos);
+  EXPECT_NE(s.find("8:00am"), std::string::npos);
+}
+
+TEST(AtypicalClusterTest, EmptyClusterDebugString) {
+  AtypicalCluster c;
+  c.id = 3;
+  EXPECT_NE(c.DebugString(TimeGrid(15)).find("empty"), std::string::npos);
+}
+
+TEST(ClusterIdGeneratorTest, MonotonicallyIncreasing) {
+  ClusterIdGenerator ids(10);
+  EXPECT_EQ(ids.Next(), 10u);
+  EXPECT_EQ(ids.Next(), 11u);
+  EXPECT_EQ(ids.Next(), 12u);
+}
+
+TEST(FeatureVectorTest, ByteSizeGrowsWithEntries) {
+  FeatureVector small;
+  small.Add(1, 1.0);
+  FeatureVector big;
+  for (uint32_t k = 0; k < 100; ++k) big.Add(k, 1.0);
+  EXPECT_GT(big.ByteSize(), small.ByteSize());
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,171 @@
+#include "core/forest.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/report.h"
+#include "gen/workload.h"
+
+namespace atypical {
+namespace {
+
+class ForestTest : public ::testing::Test {
+ protected:
+  ForestTest()
+      : workload_(MakeWorkload(WorkloadScale::kTiny, 17)),
+        forest_(workload_->sensors.get(), workload_->gen_config.time_grid,
+                analytics::DefaultForestParams()) {
+    records_ = workload_->generator->GenerateMonthAtypical(0);
+  }
+
+  std::unique_ptr<Workload> workload_;
+  AtypicalForest forest_;
+  std::vector<AtypicalRecord> records_;
+};
+
+TEST_F(ForestTest, AddRecordsGroupsByDay) {
+  forest_.AddRecords(records_);
+  const std::vector<int> days = forest_.Days();
+  EXPECT_EQ(days.size(), 7u);  // kTiny months are 7 days
+  for (int day : days) {
+    EXPECT_TRUE(forest_.HasDay(day));
+    EXPECT_FALSE(forest_.MicrosOfDay(day).empty());
+  }
+  EXPECT_GT(forest_.num_micro_clusters(), 7u);
+}
+
+TEST_F(ForestTest, MicroSeverityMatchesRecordMass) {
+  forest_.AddRecords(records_);
+  double micro_total = 0.0;
+  for (int day : forest_.Days()) {
+    for (const AtypicalCluster& c : forest_.MicrosOfDay(day)) {
+      micro_total += c.severity();
+    }
+  }
+  double record_total = 0.0;
+  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  EXPECT_NEAR(micro_total, record_total, 1e-3);
+}
+
+TEST_F(ForestTest, MicrosInRangeRespectsBounds) {
+  forest_.AddRecords(records_);
+  const auto all = forest_.MicrosInRange(DayRange{0, 6});
+  EXPECT_EQ(all.size(), forest_.num_micro_clusters());
+  const auto first_two = forest_.MicrosInRange(DayRange{0, 1});
+  EXPECT_LT(first_two.size(), all.size());
+  for (const AtypicalCluster* c : first_two) {
+    EXPECT_LE(c->first_day, 1);
+  }
+  EXPECT_TRUE(forest_.MicrosInRange(DayRange{100, 200}).empty());
+}
+
+TEST_F(ForestTest, MicroSeveritiesMapMatchesClusters) {
+  forest_.AddRecords(records_);
+  const auto severities = forest_.MicroSeverities(DayRange{0, 6});
+  EXPECT_EQ(severities.size(), forest_.num_micro_clusters());
+  for (const AtypicalCluster* c : forest_.MicrosInRange(DayRange{0, 6})) {
+    const auto it = severities.find(c->id);
+    ASSERT_NE(it, severities.end());
+    EXPECT_DOUBLE_EQ(it->second, c->severity());
+  }
+}
+
+TEST_F(ForestTest, MaterializeWeeksBuildsMacros) {
+  forest_.AddRecords(records_);
+  const size_t built = forest_.MaterializeWeeks();
+  EXPECT_GT(built, 0u);
+  ASSERT_TRUE(forest_.HasWeek(0));
+  const auto& macros = forest_.MacrosOfWeek(0);
+  EXPECT_EQ(macros.size(), built);
+  // Macro severity mass equals micro mass (nothing lost in integration).
+  double macro_total = 0.0;
+  for (const AtypicalCluster& c : macros) {
+    macro_total += c.severity();
+    EXPECT_TRUE(c.key_mode == TemporalKeyMode::kTimeOfDay);
+  }
+  double record_total = 0.0;
+  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  EXPECT_NEAR(macro_total, record_total, 1e-3);
+  // Integration happened: fewer macros than micros.
+  EXPECT_LT(macros.size(), forest_.num_micro_clusters());
+}
+
+TEST_F(ForestTest, MaterializeMonthsBuildsTreeWithChildren) {
+  forest_.AddRecords(records_);
+  forest_.MaterializeMonths(workload_->gen_config.days_per_month);
+  ASSERT_TRUE(forest_.HasMonth(0));
+  bool any_merged = false;
+  for (const AtypicalCluster& c : forest_.MacrosOfMonth(0)) {
+    if (c.num_micros() > 1) {
+      any_merged = true;
+      // A merged macro records its immediate children (Fig. 10 tree).
+      EXPECT_NE(c.left_child, 0u);
+      EXPECT_NE(c.right_child, 0u);
+      EXPECT_NE(c.left_child, c.right_child);
+    }
+  }
+  EXPECT_TRUE(any_merged);
+}
+
+TEST_F(ForestTest, RematerializationReplacesLevel) {
+  forest_.AddRecords(records_);
+  const size_t first = forest_.MaterializeWeeks();
+  const size_t second = forest_.MaterializeWeeks();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(forest_.MacrosOfWeek(0).size(), second);
+}
+
+TEST_F(ForestTest, MultipleMonthsSpanWeeks) {
+  forest_.AddRecords(records_);
+  forest_.AddRecords(workload_->generator->GenerateMonthAtypical(1));
+  EXPECT_EQ(forest_.Days().size(), 14u);
+  forest_.MaterializeWeeks();
+  EXPECT_TRUE(forest_.HasWeek(0));
+  EXPECT_TRUE(forest_.HasWeek(1));
+  EXPECT_FALSE(forest_.HasWeek(2));
+}
+
+TEST_F(ForestTest, ByteSizeGrowsWithData) {
+  forest_.AddRecords(records_);
+  const uint64_t before = forest_.ByteSize();
+  EXPECT_GT(before, 0u);
+  forest_.AddRecords(workload_->generator->GenerateMonthAtypical(1));
+  EXPECT_GT(forest_.ByteSize(), before);
+}
+
+TEST_F(ForestTest, IdsAreSharedAndUnique) {
+  forest_.AddRecords(records_);
+  forest_.MaterializeWeeks();
+  std::set<ClusterId> ids;
+  for (int day : forest_.Days()) {
+    for (const AtypicalCluster& c : forest_.MicrosOfDay(day)) {
+      EXPECT_TRUE(ids.insert(c.id).second);
+    }
+  }
+  for (const AtypicalCluster& c : forest_.MacrosOfWeek(0)) {
+    // Macros that merged nothing keep their micro's id; merged ones are new.
+    if (c.num_micros() > 1) {
+      EXPECT_TRUE(ids.insert(c.id).second);
+    }
+  }
+}
+
+TEST_F(ForestTest, DeathOnDuplicateDay) {
+  forest_.AddRecords(records_);
+  EXPECT_DEATH(forest_.AddRecords(records_), "already added");
+}
+
+TEST_F(ForestTest, DeathOnWrongDayRecords) {
+  std::vector<AtypicalRecord> wrong = {records_.front()};
+  const int actual_day =
+      workload_->gen_config.time_grid.DayOfWindow(wrong[0].window);
+  EXPECT_DEATH(forest_.AddDay(actual_day + 1, wrong), "Check failed");
+}
+
+TEST_F(ForestTest, DeathOnMissingDayAccess) {
+  EXPECT_DEATH((void)forest_.MicrosOfDay(0), "no micro-clusters");
+  EXPECT_DEATH((void)forest_.MacrosOfWeek(0), "not materialized");
+  EXPECT_DEATH((void)forest_.MacrosOfMonth(0), "not materialized");
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,243 @@
+// Algorithm 3: cluster integration — fixpoint semantics, naive/indexed
+// equivalence, and micro-id bookkeeping.
+#include "core/integration.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/merge.h"
+#include "util/random.h"
+
+namespace atypical {
+namespace {
+
+AtypicalCluster MakeMicro(ClusterIdGenerator* ids,
+                          std::vector<std::pair<uint32_t, double>> sf,
+                          std::vector<std::pair<uint32_t, double>> tf) {
+  AtypicalCluster c;
+  c.id = ids->Next();
+  c.micro_ids = {c.id};
+  for (const auto& [k, v] : sf) c.spatial.Add(k, v);
+  for (const auto& [k, v] : tf) c.temporal.Add(k, v);
+  return c;
+}
+
+std::vector<AtypicalCluster> RandomMicros(int count, uint32_t key_space,
+                                          Rng& rng, ClusterIdGenerator* ids) {
+  std::vector<AtypicalCluster> out;
+  for (int i = 0; i < count; ++i) {
+    AtypicalCluster c;
+    c.id = ids->Next();
+    c.micro_ids = {c.id};
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    for (int j = 0; j < n; ++j) {
+      c.spatial.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{key_space})),
+                    rng.Uniform(1.0, 10.0));
+      c.temporal.Add(
+          static_cast<uint32_t>(rng.UniformInt(uint64_t{key_space})),
+          rng.Uniform(1.0, 10.0));
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+TEST(IntegrationTest, EmptyAndSingletonInputs) {
+  ClusterIdGenerator ids(1);
+  IntegrationParams params;
+  EXPECT_TRUE(IntegrateClusters({}, params, &ids).empty());
+
+  std::vector<AtypicalCluster> one;
+  one.push_back(MakeMicro(&ids, {{1, 5.0}}, {{1, 5.0}}));
+  const auto out = IntegrateClusters(std::move(one), params, &ids);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].severity(), 5.0);
+}
+
+TEST(IntegrationTest, IdenticalClustersMerge) {
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros;
+  micros.push_back(MakeMicro(&ids, {{1, 5.0}, {2, 5.0}}, {{7, 10.0}}));
+  micros.push_back(MakeMicro(&ids, {{1, 3.0}, {2, 3.0}}, {{7, 6.0}}));
+  IntegrationStats stats;
+  const auto out =
+      IntegrateClusters(std::move(micros), IntegrationParams{}, &ids, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].severity(), 16.0);
+  EXPECT_EQ(out[0].num_micros(), 2);
+  EXPECT_EQ(stats.merges, 1u);
+}
+
+TEST(IntegrationTest, DissimilarClustersStayApart) {
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros;
+  micros.push_back(MakeMicro(&ids, {{1, 5.0}}, {{7, 5.0}}));
+  micros.push_back(MakeMicro(&ids, {{2, 5.0}}, {{9, 5.0}}));
+  const auto out =
+      IntegrateClusters(std::move(micros), IntegrationParams{}, &ids);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(IntegrationTest, MorningAndEveningJamsDoNotMerge) {
+  // The paper's CA/CB example: same sensors, disjoint times, δsim = 0.5.
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros;
+  micros.push_back(
+      MakeMicro(&ids, {{1, 182.0}, {2, 97.0}}, {{32, 200.0}, {33, 79.0}}));
+  micros.push_back(
+      MakeMicro(&ids, {{1, 120.0}, {2, 51.0}}, {{70, 100.0}, {71, 71.0}}));
+  const auto out =
+      IntegrateClusters(std::move(micros), IntegrationParams{}, &ids);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(IntegrationTest, TransitiveAbsorption) {
+  // A~B and (A+B)~C even though A!~C: the fixpoint loop must catch the
+  // second merge after the first.
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros;
+  micros.push_back(MakeMicro(&ids, {{1, 10.0}, {2, 10.0}}, {{5, 20.0}}));
+  micros.push_back(MakeMicro(&ids, {{2, 10.0}, {3, 10.0}}, {{5, 20.0}}));
+  micros.push_back(MakeMicro(&ids, {{3, 10.0}, {4, 10.0}}, {{5, 20.0}}));
+  IntegrationParams params;
+  params.delta_sim = 0.45;
+  const auto out = IntegrateClusters(std::move(micros), params, &ids);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].num_micros(), 3);
+  EXPECT_DOUBLE_EQ(out[0].severity(), 60.0);
+}
+
+TEST(IntegrationTest, FixpointPropertyNoSimilarPairRemains) {
+  // After integration, no output pair may exceed δsim (Algorithm 3 line 7).
+  Rng rng(5);
+  ClusterIdGenerator ids(1);
+  for (const double delta_sim : {0.2, 0.5, 0.8}) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      Rng local(seed * 100 + 9);
+      std::vector<AtypicalCluster> micros = RandomMicros(60, 12, local, &ids);
+      IntegrationParams params;
+      params.delta_sim = delta_sim;
+      const auto out = IntegrateClusters(std::move(micros), params, &ids);
+      for (size_t i = 0; i < out.size(); ++i) {
+        for (size_t j = i + 1; j < out.size(); ++j) {
+          ASSERT_LE(Similarity(out[i], out[j], params.g), delta_sim)
+              << "δsim=" << delta_sim << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, MicroIdsArePreservedAsPartition) {
+  Rng rng(7);
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros = RandomMicros(80, 10, rng, &ids);
+  std::set<ClusterId> input_ids;
+  double input_severity = 0.0;
+  for (const auto& m : micros) {
+    input_ids.insert(m.id);
+    input_severity += m.severity();
+  }
+  const auto out =
+      IntegrateClusters(std::move(micros), IntegrationParams{}, &ids);
+  std::set<ClusterId> output_micro_ids;
+  double output_severity = 0.0;
+  for (const auto& c : out) {
+    output_severity += c.severity();
+    for (ClusterId id : c.micro_ids) {
+      EXPECT_TRUE(output_micro_ids.insert(id).second)
+          << "micro " << id << " appears twice";
+    }
+  }
+  EXPECT_EQ(output_micro_ids, input_ids);
+  EXPECT_NEAR(output_severity, input_severity, 1e-6);
+}
+
+TEST(IntegrationTest, NaiveAndIndexedProduceIdenticalResults) {
+  // The candidate index only skips similarity-0 pairs, so outputs match the
+  // quadratic scan feature-for-feature.
+  ClusterIdGenerator ids_a(1);
+  ClusterIdGenerator ids_b(1);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    std::vector<AtypicalCluster> micros_a = RandomMicros(70, 9, rng_a, &ids_a);
+    std::vector<AtypicalCluster> micros_b = RandomMicros(70, 9, rng_b, &ids_b);
+    for (const double delta_sim : {0.3, 0.5, 0.7}) {
+      IntegrationParams indexed;
+      indexed.delta_sim = delta_sim;
+      indexed.use_candidate_index = true;
+      IntegrationParams naive;
+      naive.delta_sim = delta_sim;
+      naive.use_candidate_index = false;
+      ClusterIdGenerator out_ids_a(1000);
+      ClusterIdGenerator out_ids_b(1000);
+      const auto a = IntegrateClusters(micros_a, indexed, &out_ids_a);
+      const auto b = IntegrateClusters(micros_b, naive, &out_ids_b);
+      ASSERT_EQ(a.size(), b.size()) << "seed " << seed << " δ " << delta_sim;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].micro_ids, b[i].micro_ids) << "cluster " << i;
+        ASSERT_EQ(a[i].spatial.entries(), b[i].spatial.entries());
+        ASSERT_EQ(a[i].temporal.entries(), b[i].temporal.entries());
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, IndexReducesSimilarityChecks) {
+  Rng rng(11);
+  ClusterIdGenerator ids(1);
+  // Many clusters over a large key space: most pairs share nothing.
+  std::vector<AtypicalCluster> micros = RandomMicros(300, 4000, rng, &ids);
+  IntegrationParams indexed;
+  indexed.use_candidate_index = true;
+  IntegrationParams naive;
+  naive.use_candidate_index = false;
+  IntegrationStats indexed_stats;
+  IntegrationStats naive_stats;
+  ClusterIdGenerator ids2(10000);
+  IntegrateClusters(micros, indexed, &ids2, &indexed_stats);
+  IntegrateClusters(micros, naive, &ids2, &naive_stats);
+  EXPECT_LT(indexed_stats.similarity_checks,
+            naive_stats.similarity_checks / 5);
+  EXPECT_EQ(indexed_stats.output_clusters, naive_stats.output_clusters);
+}
+
+TEST(IntegrationTest, StatsAreConsistent) {
+  Rng rng(13);
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros = RandomMicros(50, 8, rng, &ids);
+  IntegrationStats stats;
+  const auto out =
+      IntegrateClusters(std::move(micros), IntegrationParams{}, &ids, &stats);
+  EXPECT_EQ(stats.input_clusters, 50u);
+  EXPECT_EQ(stats.output_clusters, out.size());
+  EXPECT_EQ(stats.input_clusters - stats.merges, stats.output_clusters);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(IntegrationTest, ThresholdIsStrict) {
+  // Similarity exactly equal to δsim must NOT merge ("larger than").
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros;
+  // Identical temporal features (TF sim 1.0), disjoint sensors (SF sim 0)
+  // -> overall 0.5 under any balance function.
+  micros.push_back(MakeMicro(&ids, {{1, 10.0}}, {{5, 10.0}}));
+  micros.push_back(MakeMicro(&ids, {{2, 10.0}}, {{5, 10.0}}));
+  IntegrationParams params;
+  params.delta_sim = 0.5;
+  EXPECT_EQ(IntegrateClusters(micros, params, &ids).size(), 2u);
+  params.delta_sim = 0.49;
+  EXPECT_EQ(IntegrateClusters(micros, params, &ids).size(), 1u);
+}
+
+TEST(IntegrationDeathTest, RejectsNonPositiveDeltaSim) {
+  ClusterIdGenerator ids(1);
+  IntegrationParams params;
+  params.delta_sim = 0.0;
+  EXPECT_DEATH(IntegrateClusters({}, params, &ids), "Check failed");
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,82 @@
+#include "core/significance.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+TEST(LengthOfTest, UnitsScaleAsExpected) {
+  const TimeGrid grid(15);
+  const DayRange week{0, 6};
+  EXPECT_DOUBLE_EQ(LengthOf(week, grid, LengthUnit::kDays), 7.0);
+  EXPECT_DOUBLE_EQ(LengthOf(week, grid, LengthUnit::kMinutes), 7.0 * 1440);
+  EXPECT_DOUBLE_EQ(LengthOf(week, grid, LengthUnit::kWindows), 7.0 * 96);
+}
+
+TEST(LengthOfTest, EmptyRangeIsZero) {
+  const TimeGrid grid(15);
+  EXPECT_DOUBLE_EQ(LengthOf(DayRange{3, 2}, grid, LengthUnit::kDays), 0.0);
+}
+
+TEST(SignificanceThresholdTest, Formula) {
+  // δs · length(T) · N with the paper defaults (δs = 5%, day units).
+  SignificanceParams params;
+  const TimeGrid grid(15);
+  EXPECT_DOUBLE_EQ(
+      SignificanceThreshold(params, DayRange{0, 13}, grid, 450),
+      0.05 * 14 * 450);
+}
+
+TEST(SignificanceThresholdTest, ScalesLinearlyInEachFactor) {
+  SignificanceParams params;
+  params.delta_s = 0.1;
+  const TimeGrid grid(15);
+  const double base = SignificanceThreshold(params, DayRange{0, 6}, grid, 100);
+  EXPECT_DOUBLE_EQ(SignificanceThreshold(params, DayRange{0, 13}, grid, 100),
+                   2 * base);
+  EXPECT_DOUBLE_EQ(SignificanceThreshold(params, DayRange{0, 6}, grid, 200),
+                   2 * base);
+  params.delta_s = 0.2;
+  EXPECT_DOUBLE_EQ(SignificanceThreshold(params, DayRange{0, 6}, grid, 100),
+                   2 * base);
+}
+
+TEST(IsSignificantTest, StrictInequality) {
+  AtypicalCluster c;
+  c.spatial.Add(1, 100.0);
+  EXPECT_TRUE(IsSignificant(c, 99.9));
+  EXPECT_FALSE(IsSignificant(c, 100.0));  // Def. 5 uses strict >
+  EXPECT_FALSE(IsSignificant(c, 100.1));
+}
+
+TEST(FilterSignificantTest, KeepsOrderAndFilters) {
+  std::vector<AtypicalCluster> clusters(3);
+  clusters[0].id = 1;
+  clusters[0].spatial.Add(1, 50.0);
+  clusters[1].id = 2;
+  clusters[1].spatial.Add(1, 150.0);
+  clusters[2].id = 3;
+  clusters[2].spatial.Add(1, 300.0);
+  const auto sig = FilterSignificant(clusters, 100.0);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_EQ(sig[0].id, 2u);
+  EXPECT_EQ(sig[1].id, 3u);
+}
+
+TEST(LengthUnitNameTest, Names) {
+  EXPECT_STREQ(LengthUnitName(LengthUnit::kDays), "days");
+  EXPECT_STREQ(LengthUnitName(LengthUnit::kMinutes), "minutes");
+  EXPECT_STREQ(LengthUnitName(LengthUnit::kWindows), "windows");
+}
+
+TEST(SignificanceDeathTest, NegativeInputsDie) {
+  SignificanceParams params;
+  params.delta_s = -0.1;
+  const TimeGrid grid(15);
+  EXPECT_DEATH(
+      (void)SignificanceThreshold(params, DayRange{0, 6}, grid, 100),
+      "Check failed");
+}
+
+}  // namespace
+}  // namespace atypical

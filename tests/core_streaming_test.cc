@@ -1,0 +1,202 @@
+// Streaming event retrieval must produce exactly the batch events
+// (connected components are order-independent), while bounding open state.
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analytics/report.h"
+#include "gen/workload.h"
+#include "util/string_util.h"
+
+namespace atypical {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ public:
+  StreamingTest()
+      : workload_(MakeWorkload(WorkloadScale::kTiny, 61)),
+        grid_(workload_->gen_config.time_grid),
+        params_(analytics::DefaultForestParams().retrieval) {}
+
+  // Canonical signature of a cluster set: sorted (sensor set, window set,
+  // severity) triples — ids and ordering differ between batch and stream.
+  static std::multiset<std::string> Signatures(
+      const std::vector<AtypicalCluster>& clusters) {
+    std::multiset<std::string> out;
+    for (const AtypicalCluster& c : clusters) {
+      std::string sig;
+      for (const auto& e : c.spatial.entries()) {
+        sig += StrPrintf("s%u:%.1f;", e.key, e.severity);
+      }
+      sig += "|";
+      for (const auto& e : c.temporal.entries()) {
+        sig += StrPrintf("t%u:%.1f;", e.key, e.severity);
+      }
+      out.insert(std::move(sig));
+    }
+    return out;
+  }
+
+  std::unique_ptr<Workload> workload_;
+  TimeGrid grid_;
+  RetrievalParams params_;
+};
+
+TEST_F(StreamingTest, MatchesBatchRetrievalOnGeneratedMonth) {
+  const std::vector<AtypicalRecord> records =
+      workload_->generator->GenerateMonthAtypical(0);
+  ClusterIdGenerator batch_ids(1);
+  ClusterIdGenerator stream_ids(100000);
+  const auto batch = RetrieveMicroClusters(records, *workload_->sensors,
+                                           grid_, params_, &batch_ids);
+  const auto streamed = StreamMicroClusters(records, *workload_->sensors,
+                                            grid_, params_, &stream_ids);
+  ASSERT_EQ(streamed.size(), batch.size());
+  EXPECT_EQ(Signatures(streamed), Signatures(batch));
+}
+
+class StreamingSweepTest
+    : public ::testing::TestWithParam<std::pair<double, int>> {};
+
+TEST_P(StreamingSweepTest, MatchesBatchAcrossThresholds) {
+  const auto [delta_d, delta_t] = GetParam();
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 67);
+  const TimeGrid grid = workload->gen_config.time_grid;
+  RetrievalParams params;
+  params.delta_d_miles = delta_d;
+  params.delta_t_minutes = delta_t;
+  const std::vector<AtypicalRecord> records =
+      workload->generator->GenerateMonthAtypical(1);
+  ClusterIdGenerator ids_a(1);
+  ClusterIdGenerator ids_b(1);
+  const auto batch = RetrieveMicroClusters(records, *workload->sensors, grid,
+                                           params, &ids_a);
+  const auto streamed = StreamMicroClusters(records, *workload->sensors, grid,
+                                            params, &ids_b);
+  EXPECT_EQ(StreamingTest::Signatures(streamed),
+            StreamingTest::Signatures(batch));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, StreamingSweepTest,
+    ::testing::Values(std::pair{1.5, 15}, std::pair{1.5, 30},
+                      std::pair{0.8, 15}, std::pair{3.0, 45},
+                      std::pair{6.0, 80}));
+
+TEST_F(StreamingTest, EmitsEventsAsTheyExpire) {
+  // Two bursts far apart in time: the first event must be emitted before
+  // the second burst's records are all in.
+  const SensorId sensor = 0;
+  std::vector<AtypicalCluster> emitted;
+  ClusterIdGenerator ids(1);
+  StreamingEventBuilder builder(
+      workload_->sensors.get(), grid_, params_, &ids,
+      [&](AtypicalCluster c) { emitted.push_back(std::move(c)); });
+
+  builder.Add({sensor, grid_.MakeWindow(0, 10), 5.0f, kNoEvent});
+  builder.Add({sensor, grid_.MakeWindow(0, 11), 5.0f, kNoEvent});
+  EXPECT_EQ(emitted.size(), 0u);
+  EXPECT_EQ(builder.open_events(), 1u);
+
+  builder.Add({sensor, grid_.MakeWindow(0, 50), 5.0f, kNoEvent});
+  EXPECT_EQ(emitted.size(), 1u);  // first burst closed
+  EXPECT_DOUBLE_EQ(emitted[0].severity(), 10.0);
+  EXPECT_EQ(builder.open_events(), 1u);
+
+  builder.Flush();
+  EXPECT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(builder.open_events(), 0u);
+}
+
+TEST_F(StreamingTest, BridgingRecordMergesOpenEvents) {
+  // Two sensors too far apart to relate directly, plus a bridging record in
+  // between: all three must end in one event.
+  SensorId a = kInvalidSensor;
+  SensorId b = kInvalidSensor;
+  SensorId mid = kInvalidSensor;
+  for (int h = 0; h < workload_->sensors->num_highways() && mid == kInvalidSensor;
+       ++h) {
+    const auto& line = workload_->sensors->SensorsOnHighway(h);
+    for (size_t i = 0; i + 2 < line.size(); ++i) {
+      const double d02 = DistanceMiles(
+          workload_->sensors->location(line[i]),
+          workload_->sensors->location(line[i + 2]));
+      const double d01 = DistanceMiles(
+          workload_->sensors->location(line[i]),
+          workload_->sensors->location(line[i + 1]));
+      const double d12 = DistanceMiles(
+          workload_->sensors->location(line[i + 1]),
+          workload_->sensors->location(line[i + 2]));
+      if (d02 >= params_.delta_d_miles && d01 < params_.delta_d_miles &&
+          d12 < params_.delta_d_miles) {
+        a = line[i];
+        mid = line[i + 1];
+        b = line[i + 2];
+        break;
+      }
+    }
+  }
+  if (mid == kInvalidSensor) GTEST_SKIP() << "no suitable sensor triple";
+
+  std::vector<AtypicalCluster> emitted;
+  ClusterIdGenerator ids(1);
+  StreamingEventBuilder builder(
+      workload_->sensors.get(), grid_, params_, &ids,
+      [&](AtypicalCluster c) { emitted.push_back(std::move(c)); });
+  const WindowId w = grid_.MakeWindow(0, 30);
+  builder.Add({a, w, 5.0f, kNoEvent});
+  builder.Add({b, w, 5.0f, kNoEvent});
+  EXPECT_EQ(builder.open_events(), 2u);
+  builder.Add({mid, w, 5.0f, kNoEvent});
+  EXPECT_EQ(builder.open_events(), 1u);
+  builder.Flush();
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].num_sensors(), 3);
+}
+
+TEST_F(StreamingTest, OpenStateStaysBounded) {
+  // Open events never exceed what fits in the δt horizon.
+  const std::vector<AtypicalRecord> records =
+      workload_->generator->GenerateMonthAtypical(0);
+  ClusterIdGenerator ids(1);
+  size_t max_open = 0;
+  size_t total = 0;
+  StreamingEventBuilder builder(
+      workload_->sensors.get(), grid_, params_, &ids,
+      [&](AtypicalCluster) { ++total; });
+  for (const AtypicalRecord& r : records) {
+    builder.Add(r);
+    max_open = std::max(max_open, builder.open_events());
+  }
+  builder.Flush();
+  EXPECT_GT(total, 0u);
+  // All concurrently-open events live within a 2·δt horizon; with tens of
+  // sensors that is far below the total event count.
+  EXPECT_LT(max_open, total);
+  EXPECT_LT(max_open, 64u);
+}
+
+TEST_F(StreamingTest, EmptyStreamFlushesNothing) {
+  ClusterIdGenerator ids(1);
+  size_t emitted = 0;
+  StreamingEventBuilder builder(workload_->sensors.get(), grid_, params_,
+                                &ids, [&](AtypicalCluster) { ++emitted; });
+  builder.Flush();
+  EXPECT_EQ(emitted, 0u);
+  EXPECT_EQ(builder.records_seen(), 0u);
+}
+
+TEST_F(StreamingTest, DiesOnOutOfOrderRecords) {
+  ClusterIdGenerator ids(1);
+  StreamingEventBuilder builder(workload_->sensors.get(), grid_, params_,
+                                &ids, [](AtypicalCluster) {});
+  builder.Add({0, grid_.MakeWindow(0, 20), 5.0f, kNoEvent});
+  EXPECT_DEATH(builder.Add({0, grid_.MakeWindow(0, 19), 5.0f, kNoEvent}),
+               "non-decreasing window order");
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,91 @@
+#include "cps/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+Dataset MakeDataset() {
+  DatasetMeta meta;
+  meta.month_index = 0;
+  meta.first_day = 0;
+  meta.num_days = 1;
+  meta.num_sensors = 3;
+  meta.time_grid = TimeGrid(15);
+  meta.name = "D1";
+
+  std::vector<Reading> readings;
+  for (int w = 0; w < 4; ++w) {
+    for (SensorId s = 0; s < 3; ++s) {
+      Reading r;
+      r.sensor = s;
+      r.window = w;
+      r.speed_mph = 60.0f;
+      r.occupancy = 0.1f;
+      // Sensor 1 is atypical in windows 1 and 2.
+      if (s == 1 && (w == 1 || w == 2)) {
+        r.atypical_minutes = 5.0f;
+        r.true_event = 42;
+        r.speed_mph = 20.0f;
+      }
+      readings.push_back(r);
+    }
+  }
+  return Dataset(meta, std::move(readings));
+}
+
+TEST(DatasetMetaTest, ShapeArithmetic) {
+  const Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.meta().TotalWindows(), 96);
+  EXPECT_EQ(ds.meta().ExpectedReadings(), 96 * 3);
+  EXPECT_EQ(ds.meta().Days().first_day, 0);
+  EXPECT_EQ(ds.meta().Days().last_day, 0);
+}
+
+TEST(DatasetTest, CountsAtypicalReadings) {
+  const Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.num_readings(), 12);
+  EXPECT_EQ(ds.num_atypical(), 2);
+  EXPECT_NEAR(ds.atypical_fraction(), 2.0 / 12.0, 1e-12);
+}
+
+TEST(DatasetTest, TotalSeverity) {
+  const Dataset ds = MakeDataset();
+  EXPECT_DOUBLE_EQ(ds.total_severity_minutes(), 10.0);
+}
+
+TEST(DatasetTest, ExtractAtypicalRecordsKeepsOnlyAtypical) {
+  const Dataset ds = MakeDataset();
+  const std::vector<AtypicalRecord> records = ds.ExtractAtypicalRecords();
+  ASSERT_EQ(records.size(), 2u);
+  for (const AtypicalRecord& r : records) {
+    EXPECT_EQ(r.sensor, 1u);
+    EXPECT_EQ(r.severity_minutes, 5.0f);
+    EXPECT_EQ(r.true_event, 42u);
+  }
+  EXPECT_EQ(records[0].window, 1u);
+  EXPECT_EQ(records[1].window, 2u);
+}
+
+TEST(DatasetTest, EmptyDatasetBehaves) {
+  Dataset ds;
+  EXPECT_EQ(ds.num_readings(), 0);
+  EXPECT_EQ(ds.num_atypical(), 0);
+  EXPECT_DOUBLE_EQ(ds.atypical_fraction(), 0.0);
+  EXPECT_TRUE(ds.ExtractAtypicalRecords().empty());
+}
+
+TEST(DatasetTest, ByteSizeTracksReadingCount) {
+  const Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.ByteSize(), 12 * sizeof(Reading));
+}
+
+TEST(ReadingTest, IsAtypicalFlag) {
+  Reading r;
+  EXPECT_FALSE(r.is_atypical());
+  r.atypical_minutes = 0.1f;
+  EXPECT_TRUE(r.is_atypical());
+}
+
+}  // namespace
+}  // namespace atypical

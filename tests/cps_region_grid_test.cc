@@ -1,0 +1,111 @@
+#include "cps/region_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+class RegionGridTest : public ::testing::Test {
+ protected:
+  RegionGridTest() {
+    RoadNetworkConfig roads_config;
+    roads_config.num_highways = 8;
+    roads_config.area_width_miles = 20.0;
+    roads_config.area_height_miles = 15.0;
+    roads_config.seed = 9;
+    roads_ = RoadNetwork::Generate(roads_config);
+    SensorNetworkConfig sensors_config;
+    sensors_config.target_num_sensors = 120;
+    network_ = std::make_unique<SensorNetwork>(
+        SensorNetwork::Place(roads_, sensors_config));
+  }
+
+  RoadNetwork roads_;
+  std::unique_ptr<SensorNetwork> network_;
+};
+
+TEST_F(RegionGridTest, GridDimensionsCoverArea) {
+  const RegionGrid grid(*network_, 5.0);
+  EXPECT_EQ(grid.cols(), 4);  // ceil(20/5)
+  EXPECT_EQ(grid.rows(), 3);  // ceil(15/5)
+  EXPECT_EQ(grid.num_regions(), 12);
+}
+
+TEST_F(RegionGridTest, EverySensorAssignedToExactlyOneRegion) {
+  const RegionGrid grid(*network_, 5.0);
+  int total = 0;
+  for (RegionId r = 0; r < static_cast<RegionId>(grid.num_regions()); ++r) {
+    total += grid.SensorCount(r);
+    for (SensorId s : grid.SensorsInRegion(r)) {
+      EXPECT_EQ(grid.RegionOfSensor(s), r);
+    }
+  }
+  EXPECT_EQ(total, network_->num_sensors());
+}
+
+TEST_F(RegionGridTest, SensorRegionMatchesItsLocation) {
+  const RegionGrid grid(*network_, 5.0);
+  for (const Sensor& s : network_->sensors()) {
+    EXPECT_EQ(grid.RegionOfSensor(s.id), grid.RegionOfPoint(s.location));
+  }
+}
+
+TEST_F(RegionGridTest, RegionRectContainsItsSensors) {
+  const RegionGrid grid(*network_, 5.0);
+  for (RegionId r = 0; r < static_cast<RegionId>(grid.num_regions()); ++r) {
+    const GeoRect rect = grid.RegionRect(r);
+    for (SensorId s : grid.SensorsInRegion(r)) {
+      EXPECT_TRUE(rect.Contains(network_->location(s)))
+          << "sensor " << s << " region " << r;
+    }
+  }
+}
+
+TEST_F(RegionGridTest, PointOnBoundaryMapsToExactlyOneRegion) {
+  const RegionGrid grid(*network_, 5.0);
+  // A point exactly on an interior cell boundary belongs to the next cell.
+  EXPECT_EQ(grid.RegionOfPoint({5.0, 0.0}), grid.RegionOfPoint({5.1, 0.1}));
+}
+
+TEST_F(RegionGridTest, OutOfBoundsPointsClampToEdgeRegions) {
+  const RegionGrid grid(*network_, 5.0);
+  EXPECT_EQ(grid.RegionOfPoint({-10.0, -10.0}), grid.RegionOfPoint({0.0, 0.0}));
+  EXPECT_EQ(grid.RegionOfPoint({100.0, 100.0}),
+            grid.RegionOfPoint({19.9, 14.9}));
+}
+
+TEST_F(RegionGridTest, RegionsInRectSelectsOverlappingCells) {
+  const RegionGrid grid(*network_, 5.0);
+  // The whole area returns every region.
+  EXPECT_EQ(grid.RegionsInRect(network_->bounds()).size(),
+            static_cast<size_t>(grid.num_regions()));
+  // A rect strictly inside one cell returns that cell.
+  const std::vector<RegionId> one = grid.RegionsInRect({1.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], grid.RegionOfPoint({1.5, 1.5}));
+  // A rect spanning two adjacent cells returns both.
+  const std::vector<RegionId> two = grid.RegionsInRect({4.0, 1.0, 6.0, 2.0});
+  EXPECT_EQ(two.size(), 2u);
+}
+
+TEST_F(RegionGridTest, CoarseGridHasSingleRegion) {
+  const RegionGrid grid(*network_, 100.0);
+  EXPECT_EQ(grid.num_regions(), 1);
+  EXPECT_EQ(grid.SensorCount(0), network_->num_sensors());
+}
+
+TEST_F(RegionGridTest, FineGridSpreadsSensors) {
+  const RegionGrid grid(*network_, 2.0);
+  int occupied = 0;
+  for (RegionId r = 0; r < static_cast<RegionId>(grid.num_regions()); ++r) {
+    if (grid.SensorCount(r) > 0) ++occupied;
+  }
+  EXPECT_GT(occupied, 10);
+}
+
+TEST_F(RegionGridTest, DeathOnBadCellSize) {
+  EXPECT_DEATH(RegionGrid(*network_, 0.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,110 @@
+#include "cps/road_network.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+RoadNetworkConfig SmallConfig() {
+  RoadNetworkConfig config;
+  config.num_highways = 10;
+  config.area_width_miles = 30.0;
+  config.area_height_miles = 20.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(RoadNetworkTest, GeneratesRequestedHighwayCount) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig());
+  EXPECT_EQ(net.highways().size(), 10u);
+}
+
+TEST(RoadNetworkTest, HighwaysStayInBounds) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig());
+  const GeoRect bounds = net.bounds();
+  for (const Highway& hw : net.highways()) {
+    ASSERT_GE(hw.polyline.size(), 2u);
+    for (const GeoPoint& p : hw.polyline) {
+      EXPECT_TRUE(bounds.Contains(p))
+          << hw.name << " point (" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST(RoadNetworkTest, HighwaysSpanTheArea) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig());
+  for (const Highway& hw : net.highways()) {
+    // Every highway crosses the area, so it must be at least as long as the
+    // smaller area dimension.
+    EXPECT_GE(hw.length_miles, 19.0) << hw.name;
+  }
+  EXPECT_GT(net.total_length_miles(), 10 * 19.0);
+}
+
+TEST(RoadNetworkTest, PointAtMileInterpolatesMonotonically) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig());
+  const Highway& hw = net.highway(0);
+  const GeoPoint start = hw.PointAtMile(0.0);
+  const GeoPoint end = hw.PointAtMile(hw.length_miles);
+  EXPECT_EQ(start, hw.polyline.front());
+  EXPECT_EQ(end, hw.polyline.back());
+  // Walking the highway in steps moves a bounded distance each step.
+  GeoPoint prev = start;
+  for (double mile = 0.5; mile < hw.length_miles; mile += 0.5) {
+    const GeoPoint p = hw.PointAtMile(mile);
+    EXPECT_LE(DistanceMiles(prev, p), 0.75);
+    prev = p;
+  }
+}
+
+TEST(RoadNetworkTest, PointAtMileClampsOutOfRange) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig());
+  const Highway& hw = net.highway(2);
+  EXPECT_EQ(hw.PointAtMile(-3.0), hw.polyline.front());
+  EXPECT_EQ(hw.PointAtMile(hw.length_miles + 10.0), hw.polyline.back());
+}
+
+TEST(RoadNetworkTest, DeterministicPerSeed) {
+  const RoadNetwork a = RoadNetwork::Generate(SmallConfig());
+  const RoadNetwork b = RoadNetwork::Generate(SmallConfig());
+  ASSERT_EQ(a.highways().size(), b.highways().size());
+  for (size_t i = 0; i < a.highways().size(); ++i) {
+    EXPECT_EQ(a.highways()[i].polyline, b.highways()[i].polyline);
+    EXPECT_EQ(a.highways()[i].name, b.highways()[i].name);
+  }
+}
+
+TEST(RoadNetworkTest, DifferentSeedsGiveDifferentMaps) {
+  RoadNetworkConfig config = SmallConfig();
+  const RoadNetwork a = RoadNetwork::Generate(config);
+  config.seed = 6;
+  const RoadNetwork b = RoadNetwork::Generate(config);
+  bool any_different = false;
+  for (size_t i = 0; i < a.highways().size(); ++i) {
+    if (a.highways()[i].polyline != b.highways()[i].polyline) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RoadNetworkTest, NamesAreUniqueish) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig());
+  for (const Highway& hw : net.highways()) {
+    EXPECT_FALSE(hw.name.empty());
+    EXPECT_EQ(hw.name.substr(0, 2), "I-");
+  }
+}
+
+TEST(RoadNetworkDeathTest, RejectsBadConfig) {
+  RoadNetworkConfig config = SmallConfig();
+  config.num_highways = 0;
+  EXPECT_DEATH(RoadNetwork::Generate(config), "Check failed");
+  config = SmallConfig();
+  config.area_width_miles = 0.0;
+  EXPECT_DEATH(RoadNetwork::Generate(config), "Check failed");
+}
+
+}  // namespace
+}  // namespace atypical

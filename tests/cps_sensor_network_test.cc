@@ -1,0 +1,133 @@
+#include "cps/sensor_network.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+RoadNetwork MakeRoads() {
+  RoadNetworkConfig config;
+  config.num_highways = 8;
+  config.area_width_miles = 20.0;
+  config.area_height_miles = 15.0;
+  config.seed = 3;
+  return RoadNetwork::Generate(config);
+}
+
+SensorNetwork MakeSensors(const RoadNetwork& roads, int target = 150) {
+  SensorNetworkConfig config;
+  config.target_num_sensors = target;
+  return SensorNetwork::Place(roads, config);
+}
+
+TEST(SensorNetworkTest, PlacesApproximatelyTargetCount) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads, 150);
+  EXPECT_GE(net.num_sensors(), 120);
+  EXPECT_LE(net.num_sensors(), 180);
+}
+
+TEST(SensorNetworkTest, IdsAreDense) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  for (int i = 0; i < net.num_sensors(); ++i) {
+    EXPECT_EQ(net.sensor(i).id, static_cast<SensorId>(i));
+  }
+}
+
+TEST(SensorNetworkTest, EverySensorSitsOnItsHighway) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  for (const Sensor& s : net.sensors()) {
+    const Highway& hw = roads.highway(s.highway);
+    const GeoPoint expected = hw.PointAtMile(s.mile_post);
+    EXPECT_LT(DistanceMiles(s.location, expected), 1e-9);
+  }
+}
+
+TEST(SensorNetworkTest, HighwayListsOrderedByMilePost) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  for (int h = 0; h < net.num_highways(); ++h) {
+    const std::vector<SensorId>& line = net.SensorsOnHighway(h);
+    for (size_t i = 1; i < line.size(); ++i) {
+      EXPECT_LT(net.sensor(line[i - 1]).mile_post,
+                net.sensor(line[i]).mile_post);
+      EXPECT_EQ(net.sensor(line[i]).highway, static_cast<HighwayId>(h));
+    }
+  }
+}
+
+TEST(SensorNetworkTest, NeighborLinksAreConsistent) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  for (int h = 0; h < net.num_highways(); ++h) {
+    const std::vector<SensorId>& line = net.SensorsOnHighway(h);
+    if (line.empty()) continue;
+    EXPECT_EQ(net.sensor(line.front()).upstream, kInvalidSensor);
+    EXPECT_EQ(net.sensor(line.back()).downstream, kInvalidSensor);
+    for (size_t i = 1; i < line.size(); ++i) {
+      EXPECT_EQ(net.sensor(line[i]).upstream, line[i - 1]);
+      EXPECT_EQ(net.sensor(line[i - 1]).downstream, line[i]);
+    }
+  }
+}
+
+TEST(SensorNetworkTest, SpacingIsRoughlyUniform) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  const double spacing = net.spacing_miles();
+  EXPECT_GT(spacing, 0.0);
+  for (int h = 0; h < net.num_highways(); ++h) {
+    const std::vector<SensorId>& line = net.SensorsOnHighway(h);
+    for (size_t i = 1; i < line.size(); ++i) {
+      const double gap = net.sensor(line[i]).mile_post -
+                         net.sensor(line[i - 1]).mile_post;
+      EXPECT_GT(gap, 0.25 * spacing);
+      EXPECT_LT(gap, 2.5 * spacing);
+    }
+  }
+}
+
+TEST(SensorNetworkTest, SensorsNearMatchesBruteForce) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  const GeoPoint center{10.0, 7.5};
+  const double radius = 3.0;
+  const std::vector<SensorId> near = net.SensorsNear(center, radius);
+  for (const Sensor& s : net.sensors()) {
+    const bool in_radius = DistanceMiles(s.location, center) <= radius;
+    const bool listed =
+        std::find(near.begin(), near.end(), s.id) != near.end();
+    EXPECT_EQ(in_radius, listed) << "sensor " << s.id;
+  }
+}
+
+TEST(SensorNetworkTest, SensorsInRectMatchesBruteForce) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  const GeoRect rect{5.0, 3.0, 15.0, 12.0};
+  const std::vector<SensorId> inside = net.SensorsInRect(rect);
+  for (const Sensor& s : net.sensors()) {
+    const bool in_rect = rect.Contains(s.location);
+    const bool listed =
+        std::find(inside.begin(), inside.end(), s.id) != inside.end();
+    EXPECT_EQ(in_rect, listed) << "sensor " << s.id;
+  }
+}
+
+TEST(SensorNetworkTest, WholeBoundsRectContainsAllSensors) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  EXPECT_EQ(net.SensorsInRect(net.bounds()).size(),
+            static_cast<size_t>(net.num_sensors()));
+}
+
+TEST(SensorNetworkDeathTest, OutOfRangeSensorDies) {
+  const RoadNetwork roads = MakeRoads();
+  const SensorNetwork net = MakeSensors(roads);
+  EXPECT_DEATH((void)net.sensor(net.num_sensors()), "Check failed");
+}
+
+}  // namespace
+}  // namespace atypical

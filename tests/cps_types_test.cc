@@ -1,0 +1,104 @@
+#include "cps/types.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+TEST(GeoPointTest, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(DistanceMiles({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceMiles({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceMiles({-1, 0}, {2, 0}), 3.0);
+}
+
+TEST(GeoRectTest, ContainsIsInclusive) {
+  const GeoRect r{0, 0, 10, 5};
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({10, 5}));
+  EXPECT_TRUE(r.Contains({5, 2.5}));
+  EXPECT_FALSE(r.Contains({10.1, 2}));
+  EXPECT_FALSE(r.Contains({5, -0.1}));
+  EXPECT_DOUBLE_EQ(r.Width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 5.0);
+}
+
+TEST(TimeGridTest, WindowsPerDay) {
+  EXPECT_EQ(TimeGrid(5).WindowsPerDay(), 288);
+  EXPECT_EQ(TimeGrid(15).WindowsPerDay(), 96);
+  EXPECT_EQ(TimeGrid(60).WindowsPerDay(), 24);
+}
+
+TEST(TimeGridTest, WindowDayConversionsRoundTrip) {
+  const TimeGrid grid(15);
+  for (int day : {0, 1, 13, 100}) {
+    for (int w : {0, 1, 50, 95}) {
+      const WindowId id = grid.MakeWindow(day, w);
+      EXPECT_EQ(grid.DayOfWindow(id), day);
+      EXPECT_EQ(grid.WindowOfDay(id), w);
+      EXPECT_EQ(grid.MinuteOfDay(id), w * 15);
+    }
+  }
+}
+
+TEST(TimeGridTest, StartMinuteIsAbsolute) {
+  const TimeGrid grid(15);
+  EXPECT_EQ(grid.StartMinute(grid.MakeWindow(0, 0)), 0);
+  EXPECT_EQ(grid.StartMinute(grid.MakeWindow(0, 4)), 60);
+  EXPECT_EQ(grid.StartMinute(grid.MakeWindow(1, 0)), 1440);
+  EXPECT_EQ(grid.StartMinute(grid.MakeWindow(2, 2)), 2 * 1440 + 30);
+}
+
+TEST(TimeGridTest, IntervalMinutesIsSymmetricWindowGap) {
+  const TimeGrid grid(5);
+  const WindowId a = grid.MakeWindow(0, 10);
+  const WindowId b = grid.MakeWindow(0, 13);
+  // Windows 10 and 13 are separated by two full windows: gap = 10 minutes.
+  EXPECT_EQ(grid.IntervalMinutes(a, b), 10);
+  EXPECT_EQ(grid.IntervalMinutes(b, a), 10);
+  EXPECT_EQ(grid.IntervalMinutes(a, a), 0);
+  // Adjacent windows touch: gap 0 (also across midnight).
+  EXPECT_EQ(grid.IntervalMinutes(a, a + 1), 0);
+  EXPECT_EQ(grid.IntervalMinutes(grid.MakeWindow(0, 287),
+                                 grid.MakeWindow(1, 0)),
+            0);
+}
+
+TEST(WindowRangeTest, ContainsAndSize) {
+  const WindowRange r{10, 20};
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(9));
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((WindowRange{5, 5}).empty());
+  EXPECT_EQ((WindowRange{7, 3}).size(), 0u);
+}
+
+TEST(DayRangeTest, NumDaysInclusive) {
+  EXPECT_EQ((DayRange{0, 6}).NumDays(), 7);
+  EXPECT_EQ((DayRange{3, 3}).NumDays(), 1);
+  EXPECT_EQ((DayRange{5, 4}).NumDays(), 0);
+  EXPECT_EQ(DayRange{}.NumDays(), 0);
+}
+
+TEST(DayRangeTest, ContainsDay) {
+  const DayRange r{2, 5};
+  EXPECT_TRUE(r.ContainsDay(2));
+  EXPECT_TRUE(r.ContainsDay(5));
+  EXPECT_FALSE(r.ContainsDay(1));
+  EXPECT_FALSE(r.ContainsDay(6));
+}
+
+TEST(DayRangeTest, ToWindowsCoversWholeDays) {
+  const TimeGrid grid(15);
+  const DayRange r{1, 2};
+  const WindowRange w = r.ToWindows(grid);
+  EXPECT_EQ(w.begin, grid.MakeWindow(1, 0));
+  EXPECT_EQ(w.end, grid.MakeWindow(3, 0));
+  EXPECT_EQ(w.size(), 2u * 96);
+  EXPECT_TRUE((DayRange{3, 2}).ToWindows(grid).empty());
+}
+
+}  // namespace
+}  // namespace atypical

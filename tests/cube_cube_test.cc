@@ -1,0 +1,178 @@
+#include "cube/cube.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "util/random.h"
+
+namespace atypical {
+namespace cube {
+namespace {
+
+class CubeTest : public ::testing::Test {
+ protected:
+  CubeTest() : workload_(MakeWorkload(WorkloadScale::kTiny, 19)) {
+    records_ = workload_->generator->GenerateMonthAtypical(0);
+    grid_ = workload_->gen_config.time_grid;
+  }
+
+  const RegionGrid& regions() { return *workload_->regions; }
+
+  std::unique_ptr<Workload> workload_;
+  std::vector<AtypicalRecord> records_;
+  TimeGrid grid_;
+};
+
+TEST_F(CubeTest, TotalSeverityConserved) {
+  const BottomUpCube cube = BottomUpCube::FromAtypical(records_, regions(),
+                                                       grid_);
+  double record_total = 0.0;
+  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  std::vector<RegionId> all_regions;
+  for (RegionId r = 0; r < static_cast<RegionId>(regions().num_regions());
+       ++r) {
+    all_regions.push_back(r);
+  }
+  EXPECT_NEAR(cube.F(all_regions, DayRange{0, 6}), record_total, 1e-3);
+}
+
+TEST_F(CubeTest, FIsDistributiveOverDayPartitions) {
+  // Property 4: F over (W, T) equals the sum of F over any partition of T.
+  const BottomUpCube cube =
+      BottomUpCube::FromAtypical(records_, regions(), grid_);
+  std::vector<RegionId> all_regions;
+  for (RegionId r = 0; r < static_cast<RegionId>(regions().num_regions());
+       ++r) {
+    all_regions.push_back(r);
+  }
+  const double whole = cube.F(all_regions, DayRange{0, 6});
+  for (int split = 0; split < 6; ++split) {
+    const double left = cube.F(all_regions, DayRange{0, split});
+    const double right = cube.F(all_regions, DayRange{split + 1, 6});
+    EXPECT_NEAR(left + right, whole, 1e-6) << "split " << split;
+  }
+}
+
+TEST_F(CubeTest, FIsDistributiveOverRegionPartitions) {
+  const BottomUpCube cube =
+      BottomUpCube::FromAtypical(records_, regions(), grid_);
+  const DayRange days{0, 6};
+  std::vector<RegionId> all_regions;
+  for (RegionId r = 0; r < static_cast<RegionId>(regions().num_regions());
+       ++r) {
+    all_regions.push_back(r);
+  }
+  const double whole = cube.F(all_regions, days);
+  // Random bipartition of regions.
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<RegionId> left;
+    std::vector<RegionId> right;
+    for (RegionId r : all_regions) {
+      (rng.Bernoulli(0.5) ? left : right).push_back(r);
+    }
+    EXPECT_NEAR(cube.F(left, days) + cube.F(right, days), whole, 1e-6);
+  }
+}
+
+TEST_F(CubeTest, MergeFromEqualsConcatenatedBuild) {
+  const std::vector<AtypicalRecord> month1 =
+      workload_->generator->GenerateMonthAtypical(1);
+  BottomUpCube merged =
+      BottomUpCube::FromAtypical(records_, regions(), grid_);
+  merged.MergeFrom(BottomUpCube::FromAtypical(month1, regions(), grid_));
+
+  std::vector<AtypicalRecord> both = records_;
+  both.insert(both.end(), month1.begin(), month1.end());
+  const BottomUpCube direct =
+      BottomUpCube::FromAtypical(both, regions(), grid_);
+
+  EXPECT_EQ(merged.num_cells(), direct.num_cells());
+  for (RegionId r = 0; r < static_cast<RegionId>(regions().num_regions());
+       ++r) {
+    for (int day = 0; day < 14; ++day) {
+      EXPECT_NEAR(merged.RegionDaySeverity(r, day),
+                  direct.RegionDaySeverity(r, day), 1e-6)
+          << "region " << r << " day " << day;
+    }
+  }
+}
+
+TEST_F(CubeTest, RegionDayMatchesBruteForce) {
+  const BottomUpCube cube =
+      BottomUpCube::FromAtypical(records_, regions(), grid_);
+  // Pick the busiest region and compare against a direct scan.
+  std::map<RegionId, double> per_region;
+  for (const AtypicalRecord& r : records_) {
+    if (grid_.DayOfWindow(r.window) == 2) {
+      per_region[regions().RegionOfSensor(r.sensor)] += r.severity_minutes;
+    }
+  }
+  for (const auto& [region, severity] : per_region) {
+    EXPECT_NEAR(cube.RegionDaySeverity(region, 2), severity, 1e-6);
+  }
+}
+
+TEST_F(CubeTest, EmptyCellsReadZero) {
+  const BottomUpCube cube =
+      BottomUpCube::FromAtypical(records_, regions(), grid_);
+  EXPECT_DOUBLE_EQ(cube.RegionDaySeverity(0, 1000), 0.0);
+  EXPECT_EQ(cube.Lookup(CubeLevel::kSensorDay, 9999, 0), nullptr);
+}
+
+TEST_F(CubeTest, OcCubeAggregatesAllReadings) {
+  const Dataset month = workload_->generator->GenerateMonth(0);
+  const BottomUpCube oc = BottomUpCube::FromReadings(month, regions());
+  EXPECT_EQ(oc.build_stats().records, month.num_readings());
+  // Region-day count cells must cover every reading.
+  int64_t count = 0;
+  for (RegionId r = 0; r < static_cast<RegionId>(regions().num_regions());
+       ++r) {
+    for (int day = 0; day < 7; ++day) {
+      const CubeCell* cell = oc.Lookup(CubeLevel::kRegionDay, r, day);
+      if (cell != nullptr) count += cell->count;
+    }
+  }
+  EXPECT_EQ(count, month.num_readings());
+}
+
+TEST_F(CubeTest, McCubeIsSmallerThanOc) {
+  const Dataset month = workload_->generator->GenerateMonth(0);
+  const BottomUpCube oc = BottomUpCube::FromReadings(month, regions());
+  const BottomUpCube mc =
+      BottomUpCube::FromAtypical(records_, regions(), grid_);
+  EXPECT_LT(mc.num_cells(), oc.num_cells());
+  EXPECT_LT(mc.ByteSize(), oc.ByteSize());
+}
+
+TEST_F(CubeTest, BuildStatsPopulated) {
+  const BottomUpCube cube =
+      BottomUpCube::FromAtypical(records_, regions(), grid_);
+  EXPECT_EQ(cube.build_stats().records,
+            static_cast<int64_t>(records_.size()));
+  EXPECT_EQ(cube.build_stats().num_cells, cube.num_cells());
+  EXPECT_EQ(cube.build_stats().byte_size, cube.ByteSize());
+  EXPECT_GE(cube.build_stats().seconds, 0.0);
+  EXPECT_GT(cube.num_cells(), 0u);
+}
+
+TEST(CubeHierarchyTest, LevelIndices) {
+  const TimeGrid grid(15);
+  EXPECT_EQ(HourOfWindow(grid.MakeWindow(0, 4), grid), 1);
+  EXPECT_EQ(HourOfWindow(grid.MakeWindow(1, 0), grid), 24);
+  EXPECT_EQ(DayOfWindow(grid.MakeWindow(3, 10), grid), 3);
+  EXPECT_EQ(WeekOfDay(0), 0);
+  EXPECT_EQ(WeekOfDay(6), 0);
+  EXPECT_EQ(WeekOfDay(7), 1);
+  EXPECT_EQ(MonthOfDay(27, 28), 0);
+  EXPECT_EQ(MonthOfDay(28, 28), 1);
+}
+
+TEST(CubeHierarchyTest, LevelNames) {
+  EXPECT_STREQ(CubeLevelName(CubeLevel::kRegionHour), "region_hour");
+  EXPECT_STREQ(CubeLevelName(CubeLevel::kRegionWeek), "region_week");
+}
+
+}  // namespace
+}  // namespace cube
+}  // namespace atypical

@@ -1,0 +1,98 @@
+#include "ext/corroboration_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+
+namespace atypical {
+namespace ext {
+namespace {
+
+class CorroborationTest : public ::testing::Test {
+ protected:
+  CorroborationTest()
+      : workload_(MakeWorkload(WorkloadScale::kTiny, 31)), grid_(15) {}
+
+  std::unique_ptr<Workload> workload_;
+  TimeGrid grid_;
+};
+
+TEST_F(CorroborationTest, IsolatedRecordDropped) {
+  // One lone record has zero corroborators.
+  const std::vector<AtypicalRecord> records = {
+      {0, grid_.MakeWindow(0, 40), 5.0f, kNoEvent}};
+  CorroborationStats stats;
+  const auto kept = FilterTrustworthy(records, *workload_->sensors, grid_,
+                                      CorroborationParams{}, &stats);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(stats.input_records, 1u);
+  EXPECT_EQ(stats.dropped_records, 1u);
+}
+
+TEST_F(CorroborationTest, CorroboratedPairKept) {
+  // Two records at the same sensor in adjacent-enough windows corroborate
+  // each other (δt default 15 requires interval < 15; same window works).
+  const WindowId w = grid_.MakeWindow(0, 40);
+  const std::vector<AtypicalRecord> records = {
+      {0, w, 5.0f, kNoEvent}, {0, w, 4.0f, kNoEvent}};
+  CorroborationStats stats;
+  const auto kept = FilterTrustworthy(records, *workload_->sensors, grid_,
+                                      CorroborationParams{}, &stats);
+  EXPECT_EQ(kept.size(), 2u);
+  EXPECT_EQ(stats.kept_records, 2u);
+}
+
+TEST_F(CorroborationTest, MinCorroboratorsZeroKeepsEverything) {
+  const std::vector<AtypicalRecord> records = {
+      {0, grid_.MakeWindow(0, 40), 5.0f, kNoEvent}};
+  CorroborationParams params;
+  params.min_corroborators = 0;
+  const auto kept =
+      FilterTrustworthy(records, *workload_->sensors, grid_, params);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+TEST_F(CorroborationTest, HigherBarDropsMore) {
+  const std::vector<AtypicalRecord> records =
+      workload_->generator->GenerateMonthAtypical(0);
+  CorroborationParams loose;
+  loose.min_corroborators = 1;
+  CorroborationParams strict;
+  strict.min_corroborators = 6;
+  const auto kept_loose =
+      FilterTrustworthy(records, *workload_->sensors, grid_, loose);
+  const auto kept_strict =
+      FilterTrustworthy(records, *workload_->sensors, grid_, strict);
+  EXPECT_LE(kept_strict.size(), kept_loose.size());
+  EXPECT_LE(kept_loose.size(), records.size());
+}
+
+TEST_F(CorroborationTest, GeneratedEventsSurviveMostly) {
+  // Real (generated) events are spatially coherent, so the default filter
+  // keeps the bulk of their records.
+  const std::vector<AtypicalRecord> records =
+      workload_->generator->GenerateMonthAtypical(0);
+  CorroborationStats stats;
+  FilterTrustworthy(records, *workload_->sensors, grid_,
+                    CorroborationParams{}, &stats);
+  EXPECT_GT(static_cast<double>(stats.kept_records) / stats.input_records,
+            0.6);
+}
+
+TEST_F(CorroborationTest, OrderPreserved) {
+  const std::vector<AtypicalRecord> records =
+      workload_->generator->GenerateMonthAtypical(0);
+  const auto kept = FilterTrustworthy(records, *workload_->sensors, grid_,
+                                      CorroborationParams{});
+  // kept must be a subsequence of records.
+  size_t pos = 0;
+  for (const AtypicalRecord& k : kept) {
+    while (pos < records.size() && !(records[pos] == k)) ++pos;
+    ASSERT_LT(pos, records.size());
+    ++pos;
+  }
+}
+
+}  // namespace
+}  // namespace ext
+}  // namespace atypical

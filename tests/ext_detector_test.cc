@@ -1,0 +1,99 @@
+#include "ext/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/event_retrieval.h"
+#include "gen/workload.h"
+
+namespace atypical {
+namespace ext {
+namespace {
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectorTest() : workload_(MakeWorkload(WorkloadScale::kTiny, 71)) {
+    dataset_ = workload_->generator->GenerateMonth(0);
+    profile_ = std::make_unique<SpeedProfile>(SpeedProfile::Learn(dataset_));
+  }
+
+  std::unique_ptr<Workload> workload_;
+  Dataset dataset_;
+  std::unique_ptr<SpeedProfile> profile_;
+};
+
+TEST_F(DetectorTest, LearnsPlausibleReferenceSpeeds) {
+  for (int s = 0; s < profile_->num_sensors(); ++s) {
+    EXPECT_GT(profile_->reference_mph(s), 35.0) << "sensor " << s;
+    EXPECT_LT(profile_->reference_mph(s), 95.0) << "sensor " << s;
+  }
+}
+
+TEST_F(DetectorTest, DetectionAgreesWithGeneratorLabels) {
+  DetectionStats stats;
+  const std::vector<AtypicalRecord> detected =
+      DetectAtypical(dataset_, *profile_, DetectorParams{}, &stats);
+  EXPECT_EQ(stats.readings_scanned, dataset_.num_readings());
+  EXPECT_EQ(stats.records_emitted, static_cast<int64_t>(detected.size()));
+  ASSERT_GT(detected.size(), 0u);
+
+  const DetectionQuality q = EvaluateDetection(dataset_, detected);
+  // The detector sees only speeds (with reporting noise); congested windows
+  // have dramatically lower speeds, so both precision and recall must be
+  // high — but not perfect (partial-window congestion is ambiguous).
+  EXPECT_GT(q.precision, 0.8);
+  EXPECT_GT(q.recall, 0.6);
+}
+
+TEST_F(DetectorTest, DetectedSeveritiesAreBounded) {
+  const std::vector<AtypicalRecord> detected =
+      DetectAtypical(dataset_, *profile_);
+  const float cap =
+      static_cast<float>(dataset_.meta().time_grid.window_minutes());
+  for (const AtypicalRecord& r : detected) {
+    EXPECT_GT(r.severity_minutes, 0.0f);
+    EXPECT_LE(r.severity_minutes, cap);
+    EXPECT_EQ(r.true_event, kNoEvent);  // detector must not copy labels
+  }
+}
+
+TEST_F(DetectorTest, StricterThresholdDetectsLess) {
+  DetectorParams loose;
+  loose.congestion_fraction = 0.6;
+  DetectorParams strict;
+  strict.congestion_fraction = 0.3;
+  const auto many = DetectAtypical(dataset_, *profile_, loose);
+  const auto few = DetectAtypical(dataset_, *profile_, strict);
+  EXPECT_LT(few.size(), many.size());
+}
+
+TEST_F(DetectorTest, DetectedRecordsDriveTheFullPipeline) {
+  // End-to-end without labels: detect -> cluster; the big recurring events
+  // must still surface.
+  const std::vector<AtypicalRecord> detected =
+      DetectAtypical(dataset_, *profile_);
+  ClusterIdGenerator ids(1);
+  RetrievalParams params;
+  const auto micros =
+      RetrieveMicroClusters(detected, *workload_->sensors,
+                            dataset_.meta().time_grid, params, &ids);
+  EXPECT_GT(micros.size(), 5u);
+  double max_severity = 0.0;
+  for (const auto& c : micros) max_severity = std::max(max_severity, c.severity());
+  EXPECT_GT(max_severity, 100.0);
+}
+
+TEST_F(DetectorTest, EmptyDatasetYieldsNothing) {
+  const Dataset empty(dataset_.meta(), {});
+  EXPECT_TRUE(DetectAtypical(empty, *profile_).empty());
+  const DetectionQuality q = EvaluateDetection(empty, {});
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST_F(DetectorTest, PercentileBoundsChecked) {
+  EXPECT_DEATH(SpeedProfile::Learn(dataset_, 0.0), "Check failed");
+  EXPECT_DEATH(SpeedProfile::Learn(dataset_, 1.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace ext
+}  // namespace atypical

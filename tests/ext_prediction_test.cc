@@ -1,0 +1,125 @@
+#include "ext/prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+
+namespace atypical {
+namespace ext {
+namespace {
+
+TEST(PredictionTest, LearnsARepeatingProfile) {
+  const TimeGrid grid(15);
+  CongestionPredictor predictor(4, grid);
+  // Sensor 2 congests 10 minutes in window 32 every weekday.
+  std::vector<AtypicalRecord> train;
+  for (int day = 0; day < 5; ++day) {  // Mon..Fri
+    train.push_back({2, grid.MakeWindow(day, 32), 10.0f, kNoEvent});
+  }
+  predictor.Train(train);
+  EXPECT_EQ(predictor.training_days(false), 5);
+  EXPECT_EQ(predictor.training_days(true), 0);
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(2, 32, false), 10.0);
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(2, 33, false), 0.0);
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(1, 32, false), 0.0);
+}
+
+TEST(PredictionTest, SeparatesWeekdayAndWeekendProfiles) {
+  const TimeGrid grid(15);
+  CongestionPredictor predictor(2, grid);
+  std::vector<AtypicalRecord> train;
+  train.push_back({0, grid.MakeWindow(0, 10), 8.0f, kNoEvent});  // Monday
+  train.push_back({0, grid.MakeWindow(5, 50), 6.0f, kNoEvent});  // Saturday
+  predictor.Train(train);
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(0, 10, false), 8.0);
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(0, 10, true), 0.0);
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(0, 50, true), 6.0);
+}
+
+TEST(PredictionTest, IntermittentEventAveragesDown) {
+  const TimeGrid grid(15);
+  CongestionPredictor predictor(1, grid);
+  std::vector<AtypicalRecord> train;
+  // Congested on 1 of 4 weekdays.
+  train.push_back({0, grid.MakeWindow(0, 20), 12.0f, kNoEvent});
+  train.push_back({0, grid.MakeWindow(1, 60), 1.0f, kNoEvent});
+  train.push_back({0, grid.MakeWindow(2, 61), 1.0f, kNoEvent});
+  train.push_back({0, grid.MakeWindow(3, 62), 1.0f, kNoEvent});
+  predictor.Train(train);
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(0, 20, false), 3.0);
+}
+
+TEST(PredictionTest, PredictDayListsCellsAboveThreshold) {
+  const TimeGrid grid(15);
+  PredictionParams params;
+  params.min_predicted_minutes = 2.0;
+  CongestionPredictor predictor(3, grid, params);
+  std::vector<AtypicalRecord> train;
+  train.push_back({1, grid.MakeWindow(0, 30), 9.0f, kNoEvent});
+  train.push_back({2, grid.MakeWindow(0, 31), 1.0f, kNoEvent});
+  predictor.Train(train);
+  const auto cells = predictor.PredictDay(false);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].sensor, 1u);
+  EXPECT_EQ(cells[0].window_of_day, 30);
+  EXPECT_FLOAT_EQ(cells[0].expected_minutes, 9.0f);
+}
+
+TEST(PredictionTest, PerfectlyPeriodicDataScoresPerfectly) {
+  const TimeGrid grid(15);
+  CongestionPredictor predictor(2, grid);
+  std::vector<AtypicalRecord> train;
+  for (int day = 0; day < 4; ++day) {
+    train.push_back({0, grid.MakeWindow(day, 32), 10.0f, kNoEvent});
+  }
+  predictor.Train(train);
+  const std::vector<AtypicalRecord> actual = {
+      {0, grid.MakeWindow(4, 32), 10.0f, kNoEvent}};  // Friday, same profile
+  const PredictionQuality q = predictor.Evaluate(4, actual);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_absolute_error_minutes, 0.0);
+}
+
+TEST(PredictionTest, EndToEndOnGeneratedMonthBeatsChance) {
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 37);
+  const TimeGrid grid = workload->gen_config.time_grid;
+  // Train on month 0 + 1, evaluate on the first weekday of month 2.
+  CongestionPredictor predictor(workload->sensors->num_sensors(), grid);
+  predictor.Train(workload->generator->GenerateMonthAtypical(0));
+  predictor.Train(workload->generator->GenerateMonthAtypical(1));
+
+  const auto month2 = workload->generator->GenerateMonthAtypical(2);
+  const int eval_day = 14;  // first day of month 2 (tiny months = 7 days)
+  ASSERT_FALSE(IsWeekend(eval_day));
+  std::vector<AtypicalRecord> actual;
+  for (const AtypicalRecord& r : month2) {
+    if (grid.DayOfWindow(r.window) == eval_day) actual.push_back(r);
+  }
+  ASSERT_FALSE(actual.empty());
+  const PredictionQuality q = predictor.Evaluate(eval_day, actual);
+  // Recurring hotspots make recall of the recurring mass achievable; random
+  // incidents put a ceiling on precision.  Chance-level hit rate would be
+  // ~the atypical fraction (a few percent).
+  EXPECT_GT(q.recall, 0.2);
+  EXPECT_GT(q.precision, 0.2);
+}
+
+TEST(PredictionTest, UntrainedPredictorPredictsNothing) {
+  const TimeGrid grid(15);
+  CongestionPredictor predictor(2, grid);
+  EXPECT_TRUE(predictor.PredictDay(false).empty());
+  EXPECT_DOUBLE_EQ(predictor.ExpectedMinutes(0, 0, false), 0.0);
+}
+
+TEST(PredictionDeathTest, EvaluateRejectsWrongDay) {
+  const TimeGrid grid(15);
+  CongestionPredictor predictor(2, grid);
+  const std::vector<AtypicalRecord> actual = {
+      {0, grid.MakeWindow(3, 10), 5.0f, kNoEvent}};
+  EXPECT_DEATH((void)predictor.Evaluate(2, actual), "Check failed");
+}
+
+}  // namespace
+}  // namespace ext
+}  // namespace atypical

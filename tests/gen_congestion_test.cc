@@ -1,0 +1,177 @@
+#include "gen/congestion_process.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gen/traffic_model.h"
+
+namespace atypical {
+namespace {
+
+class CongestionProcessTest : public ::testing::Test {
+ protected:
+  CongestionProcessTest() {
+    RoadNetworkConfig roads_config;
+    roads_config.num_highways = 8;
+    roads_config.area_width_miles = 15.0;
+    roads_config.area_height_miles = 12.0;
+    roads_config.seed = 21;
+    roads_ = RoadNetwork::Generate(roads_config);
+    SensorNetworkConfig sensors_config;
+    sensors_config.target_num_sensors = 100;
+    network_ = std::make_unique<SensorNetwork>(
+        SensorNetwork::Place(roads_, sensors_config));
+    CongestionProcessConfig config;
+    config.num_major_hotspots = 3;
+    config.num_minor_hotspots = 4;
+    config.incidents_per_day = 8.0;
+    process_ = std::make_unique<CongestionProcess>(*network_, config);
+    grid_ = TimeGrid(15);
+  }
+
+  RoadNetwork roads_;
+  std::unique_ptr<SensorNetwork> network_;
+  std::unique_ptr<CongestionProcess> process_;
+  TimeGrid grid_;
+};
+
+TEST_F(CongestionProcessTest, PlacesRequestedHotspots) {
+  ASSERT_EQ(process_->hotspots().size(), 7u);
+  int majors = 0;
+  for (const Hotspot& h : process_->hotspots()) {
+    if (h.major) ++majors;
+    const auto& line = network_->SensorsOnHighway(h.highway);
+    EXPECT_GE(h.center_index, 0);
+    EXPECT_LT(h.center_index, static_cast<int>(line.size()));
+    EXPECT_GE(h.peak_minute_of_day, 5 * 60);
+    EXPECT_LE(h.peak_minute_of_day, 21 * 60);
+    if (h.major) {
+      EXPECT_TRUE(h.peak_minute_of_day == 8 * 60 ||
+                  h.peak_minute_of_day == 17 * 60 + 30);
+    }
+  }
+  EXPECT_EQ(majors, 3);
+}
+
+TEST_F(CongestionProcessTest, MajorHotspotsAreBiggerAndMoreFrequent) {
+  for (const Hotspot& h : process_->hotspots()) {
+    if (h.major) {
+      EXPECT_GE(h.weekday_probability, 0.8);
+      EXPECT_GE(h.peak_radius_sensors, 5.0);
+    } else {
+      EXPECT_LE(h.weekday_probability, 0.85);
+      EXPECT_LE(h.peak_radius_sensors, 4.5);
+      // Minor hotspots have a finite active span (road works).
+      EXPECT_GE(h.active_first_day, 0);
+      EXPECT_NE(h.active_last_day, INT32_MAX);
+      EXPECT_GE(h.active_last_day, h.active_first_day);
+    }
+  }
+}
+
+TEST_F(CongestionProcessTest, SampleDayIsDeterministic) {
+  const auto a = process_->SampleDay(3);
+  const auto b = process_->SampleDay(3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].start_minute, b[i].start_minute);
+    EXPECT_EQ(a[i].center_index, b[i].center_index);
+  }
+}
+
+TEST_F(CongestionProcessTest, EventIdsUniqueAcrossDays) {
+  std::set<EventId> ids;
+  size_t total = 0;
+  for (int day = 0; day < 20; ++day) {
+    for (const auto& e : process_->SampleDay(day)) {
+      ids.insert(e.id);
+      ++total;
+      EXPECT_NE(e.id, kNoEvent);
+    }
+  }
+  EXPECT_EQ(ids.size(), total);
+}
+
+TEST_F(CongestionProcessTest, WeekendsHaveFewerHotspotEvents) {
+  int weekday_hotspots = 0;
+  int weekend_hotspots = 0;
+  for (int day = 0; day < 70; ++day) {
+    for (const auto& e : process_->SampleDay(day)) {
+      if (!e.from_hotspot) continue;
+      if (IsWeekend(day)) {
+        ++weekend_hotspots;
+      } else {
+        ++weekday_hotspots;
+      }
+    }
+  }
+  // 50 weekdays vs 20 weekend days; rates differ by ~5x on top of that.
+  EXPECT_GT(weekday_hotspots, 4 * weekend_hotspots);
+}
+
+TEST_F(CongestionProcessTest, RenderKeepsContributionsOnHighwayAndInDay) {
+  for (int day = 0; day < 5; ++day) {
+    for (const auto& e : process_->SampleDay(day)) {
+      const auto contributions = process_->Render(e, grid_);
+      const auto& line = network_->SensorsOnHighway(e.highway);
+      const std::set<SensorId> line_set(line.begin(), line.end());
+      for (const auto& c : contributions) {
+        EXPECT_TRUE(line_set.contains(c.sensor));
+        EXPECT_GE(c.window_of_day, 0);
+        EXPECT_LT(c.window_of_day, grid_.WindowsPerDay());
+        EXPECT_GT(c.minutes, 0.0f);
+        EXPECT_LE(c.minutes, static_cast<float>(grid_.window_minutes()));
+        EXPECT_EQ(c.event, e.id);
+      }
+    }
+  }
+}
+
+TEST_F(CongestionProcessTest, EventsGrowThenShrink) {
+  // Find a sizable hotspot event and check its per-window sensor counts
+  // follow a rise-then-fall envelope.
+  for (int day = 0; day < 10; ++day) {
+    for (const auto& e : process_->SampleDay(day)) {
+      if (!e.from_hotspot || e.duration_minutes < 120) continue;
+      const auto contributions = process_->Render(e, grid_);
+      std::map<int, int> sensors_per_window;
+      for (const auto& c : contributions) ++sensors_per_window[c.window_of_day];
+      ASSERT_GE(sensors_per_window.size(), 4u);
+      const int first = sensors_per_window.begin()->second;
+      const int last = sensors_per_window.rbegin()->second;
+      int peak = 0;
+      for (const auto& [w, n] : sensors_per_window) peak = std::max(peak, n);
+      EXPECT_GT(peak, first);
+      EXPECT_GT(peak, last);
+      return;  // one good event suffices
+    }
+  }
+  FAIL() << "no long hotspot event found in 10 days";
+}
+
+TEST_F(CongestionProcessTest, RenderRespectsEventTimeSpan) {
+  for (const auto& e : process_->SampleDay(1)) {
+    const int first_window = e.start_minute / grid_.window_minutes();
+    const int last_window =
+        (e.start_minute + e.duration_minutes - 1) / grid_.window_minutes();
+    for (const auto& c : process_->Render(e, grid_)) {
+      EXPECT_GE(c.window_of_day, first_window);
+      EXPECT_LE(c.window_of_day, last_window);
+    }
+  }
+}
+
+TEST_F(CongestionProcessTest, IncidentsAreSmall) {
+  for (int day = 0; day < 10; ++day) {
+    for (const auto& e : process_->SampleDay(day)) {
+      if (e.from_hotspot) continue;
+      EXPECT_LE(e.duration_minutes, 60);
+      EXPECT_LE(e.peak_radius, 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atypical

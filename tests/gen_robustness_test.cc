@@ -1,0 +1,116 @@
+// Generator robustness: order independence, config monotonicity, and a
+// paper-like-scale smoke test.
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+
+namespace atypical {
+namespace {
+
+TEST(GenRobustnessTest, MonthsAreOrderIndependent) {
+  // Generating month 2 before month 0 must give identical data (each day
+  // has an independent random stream).
+  const auto a = MakeWorkload(WorkloadScale::kTiny, 11);
+  const auto b = MakeWorkload(WorkloadScale::kTiny, 11);
+  const auto a2 = a->generator->GenerateMonthAtypical(2);
+  const auto a0 = a->generator->GenerateMonthAtypical(0);
+  const auto b0 = b->generator->GenerateMonthAtypical(0);
+  const auto b2 = b->generator->GenerateMonthAtypical(2);
+  ASSERT_EQ(a0.size(), b0.size());
+  ASSERT_EQ(a2.size(), b2.size());
+  EXPECT_TRUE(std::equal(a0.begin(), a0.end(), b0.begin()));
+  EXPECT_TRUE(std::equal(a2.begin(), a2.end(), b2.begin()));
+}
+
+TEST(GenRobustnessTest, DropoutReducesRecords) {
+  auto workload = MakeWorkload(WorkloadScale::kTiny, 13);
+  TrafficGenConfig with = workload->gen_config;
+  with.record_dropout_prob = 0.3;
+  TrafficGenConfig without = workload->gen_config;
+  without.record_dropout_prob = 0.0;
+  const TrafficGenerator gen_with(*workload->sensors, with);
+  const TrafficGenerator gen_without(*workload->sensors, without);
+  const auto few = gen_with.GenerateMonthAtypical(0);
+  const auto many = gen_without.GenerateMonthAtypical(0);
+  EXPECT_LT(few.size(), many.size());
+  // ~30% dropped, allow wide slack.
+  EXPECT_GT(few.size(), many.size() / 2);
+}
+
+TEST(GenRobustnessTest, FlickerIncreasesFragmentationNotMass) {
+  auto workload = MakeWorkload(WorkloadScale::kTiny, 17);
+  TrafficGenConfig calm = workload->gen_config;
+  calm.record_dropout_prob = 0.0;
+  calm.congestion.flicker_prob = 0.0;
+  TrafficGenConfig flickery = calm;
+  flickery.congestion.flicker_prob = 0.4;
+  const TrafficGenerator gen_calm(*workload->sensors, calm);
+  const TrafficGenerator gen_flicker(*workload->sensors, flickery);
+  double calm_mass = 0.0;
+  double flicker_mass = 0.0;
+  for (const auto& r : gen_calm.GenerateMonthAtypical(0)) {
+    calm_mass += r.severity_minutes;
+  }
+  for (const auto& r : gen_flicker.GenerateMonthAtypical(0)) {
+    flicker_mass += r.severity_minutes;
+  }
+  EXPECT_LT(flicker_mass, calm_mass);
+  EXPECT_GT(flicker_mass, 0.3 * calm_mass);
+}
+
+TEST(GenRobustnessTest, ZeroHotspotsStillProducesIncidents) {
+  auto workload = MakeWorkload(WorkloadScale::kTiny, 19);
+  TrafficGenConfig config = workload->gen_config;
+  config.congestion.num_major_hotspots = 0;
+  config.congestion.num_minor_hotspots = 0;
+  config.congestion.incidents_per_day = 5.0;
+  const TrafficGenerator gen(*workload->sensors, config);
+  EXPECT_FALSE(gen.GenerateMonthAtypical(0).empty());
+}
+
+TEST(GenRobustnessTest, ZeroEverythingIsQuiet) {
+  auto workload = MakeWorkload(WorkloadScale::kTiny, 23);
+  TrafficGenConfig config = workload->gen_config;
+  config.congestion.num_major_hotspots = 0;
+  config.congestion.num_minor_hotspots = 0;
+  config.congestion.incidents_per_day = 0.0;
+  const TrafficGenerator gen(*workload->sensors, config);
+  EXPECT_TRUE(gen.GenerateMonthAtypical(0).empty());
+  const Dataset month = gen.GenerateMonth(0);
+  EXPECT_EQ(month.num_atypical(), 0);
+  EXPECT_EQ(month.num_readings(), month.meta().ExpectedReadings());
+}
+
+TEST(GenRobustnessTest, PaperLikeScaleConstructs) {
+  // The full 4,000-sensor deployment builds and produces one day of sane
+  // atypical data (generating whole months at this scale is bench
+  // territory).
+  const auto workload = MakeWorkload(WorkloadScale::kPaperLike, 3);
+  EXPECT_EQ(workload->roads.highways().size(), 38u);
+  EXPECT_GT(workload->sensors->num_sensors(), 3000);
+  EXPECT_LT(workload->sensors->spacing_miles(), 1.0);
+  EXPECT_EQ(workload->gen_config.time_grid.window_minutes(), 5);
+  const auto events = workload->generator->congestion().SampleDay(0);
+  EXPECT_GT(events.size(), 10u);
+  size_t contributions = 0;
+  for (const auto& e : events) {
+    contributions +=
+        workload->generator->congestion()
+            .Render(e, workload->gen_config.time_grid)
+            .size();
+  }
+  EXPECT_GT(contributions, 1000u);
+}
+
+TEST(GenRobustnessTest, SeverityNeverExceedsWindowLength) {
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 29);
+  const float cap =
+      static_cast<float>(workload->gen_config.time_grid.window_minutes());
+  for (const auto& r : workload->generator->GenerateMonthAtypical(0)) {
+    ASSERT_GT(r.severity_minutes, 0.0f);
+    ASSERT_LE(r.severity_minutes, cap);
+  }
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,137 @@
+#include "gen/traffic_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+
+namespace atypical {
+namespace {
+
+class TrafficGenTest : public ::testing::Test {
+ protected:
+  TrafficGenTest() : workload_(MakeWorkload(WorkloadScale::kTiny, 2)) {}
+
+  const TrafficGenerator& generator() { return *workload_->generator; }
+  std::unique_ptr<Workload> workload_;
+};
+
+TEST_F(TrafficGenTest, MonthHasExpectedShape) {
+  const Dataset ds = generator().GenerateMonth(0);
+  const DatasetMeta& meta = ds.meta();
+  EXPECT_EQ(meta.month_index, 0);
+  EXPECT_EQ(meta.first_day, 0);
+  EXPECT_EQ(meta.num_sensors, workload_->sensors->num_sensors());
+  EXPECT_EQ(ds.num_readings(), meta.ExpectedReadings());
+  EXPECT_EQ(meta.name, "D1");
+}
+
+TEST_F(TrafficGenTest, SecondMonthStartsAfterFirst) {
+  const DatasetMeta m0 = generator().MetaForMonth(0);
+  const DatasetMeta m1 = generator().MetaForMonth(1);
+  EXPECT_EQ(m1.first_day, m0.first_day + m0.num_days);
+  EXPECT_EQ(m1.name, "D2");
+}
+
+TEST_F(TrafficGenTest, ReadingsOrderedWindowMajor) {
+  const Dataset ds = generator().GenerateMonth(0);
+  const auto& readings = ds.readings();
+  for (size_t i = 1; i < readings.size(); ++i) {
+    const bool ordered =
+        readings[i - 1].window < readings[i].window ||
+        (readings[i - 1].window == readings[i].window &&
+         readings[i - 1].sensor < readings[i].sensor);
+    ASSERT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST_F(TrafficGenTest, AtypicalFractionInPaperBand) {
+  const Dataset ds = generator().GenerateMonth(0);
+  // The paper's datasets run ~2.3% to ~4% atypical; allow a wider band for
+  // the tiny test scale.
+  EXPECT_GT(ds.atypical_fraction(), 0.005);
+  EXPECT_LT(ds.atypical_fraction(), 0.12);
+}
+
+TEST_F(TrafficGenTest, AtypicalReadingsAreLabeledAndSlow) {
+  const Dataset ds = generator().GenerateMonth(0);
+  double atypical_speed_sum = 0.0;
+  double normal_speed_sum = 0.0;
+  int64_t atypical_count = 0;
+  int64_t normal_count = 0;
+  for (const Reading& r : ds.readings()) {
+    if (r.is_atypical()) {
+      EXPECT_NE(r.true_event, kNoEvent);
+      EXPECT_LE(r.atypical_minutes,
+                static_cast<float>(ds.meta().time_grid.window_minutes()));
+      atypical_speed_sum += r.speed_mph;
+      ++atypical_count;
+    } else {
+      EXPECT_EQ(r.true_event, kNoEvent);
+      normal_speed_sum += r.speed_mph;
+      ++normal_count;
+    }
+  }
+  ASSERT_GT(atypical_count, 0);
+  ASSERT_GT(normal_count, 0);
+  EXPECT_LT(atypical_speed_sum / atypical_count,
+            normal_speed_sum / normal_count - 10.0);
+}
+
+TEST_F(TrafficGenTest, GenerateMonthAtypicalMatchesFullExtraction) {
+  const Dataset full = generator().GenerateMonth(0);
+  const std::vector<AtypicalRecord> direct =
+      generator().GenerateMonthAtypical(0);
+  const std::vector<AtypicalRecord> extracted = full.ExtractAtypicalRecords();
+  ASSERT_EQ(direct.size(), extracted.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].sensor, extracted[i].sensor) << i;
+    EXPECT_EQ(direct[i].window, extracted[i].window) << i;
+    EXPECT_EQ(direct[i].severity_minutes, extracted[i].severity_minutes) << i;
+    EXPECT_EQ(direct[i].true_event, extracted[i].true_event) << i;
+  }
+}
+
+TEST_F(TrafficGenTest, GenerationIsDeterministic) {
+  const Dataset a = generator().GenerateMonth(1);
+  const Dataset b = generator().GenerateMonth(1);
+  ASSERT_EQ(a.num_readings(), b.num_readings());
+  for (int64_t i = 0; i < a.num_readings(); ++i) {
+    const Reading& ra = a.readings()[i];
+    const Reading& rb = b.readings()[i];
+    ASSERT_EQ(ra.speed_mph, rb.speed_mph) << i;
+    ASSERT_EQ(ra.atypical_minutes, rb.atypical_minutes) << i;
+  }
+}
+
+TEST_F(TrafficGenTest, MonthsDiffer) {
+  const std::vector<AtypicalRecord> m0 = generator().GenerateMonthAtypical(0);
+  const std::vector<AtypicalRecord> m1 = generator().GenerateMonthAtypical(1);
+  ASSERT_FALSE(m0.empty());
+  ASSERT_FALSE(m1.empty());
+  // Different day span entirely.
+  const TimeGrid grid = workload_->gen_config.time_grid;
+  EXPECT_LT(grid.DayOfWindow(m0.back().window),
+            grid.DayOfWindow(m1.front().window) + 1);
+}
+
+TEST_F(TrafficGenTest, RecurringHotspotsAppearOnMostWeekdays) {
+  // Count distinct weekdays (of the first week) on which the most active
+  // sensor is atypical — major hotspots recur nearly daily.
+  const std::vector<AtypicalRecord> records =
+      generator().GenerateMonthAtypical(0);
+  const TimeGrid grid = workload_->gen_config.time_grid;
+  std::map<SensorId, std::set<int>> days_by_sensor;
+  for (const AtypicalRecord& r : records) {
+    const int day = grid.DayOfWindow(r.window);
+    if (!IsWeekend(day)) days_by_sensor[r.sensor].insert(day);
+  }
+  size_t max_days = 0;
+  for (const auto& [s, days] : days_by_sensor) {
+    max_days = std::max(max_days, days.size());
+  }
+  // kTiny months have 7 days = 5 weekdays.
+  EXPECT_GE(max_days, 4u);
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,126 @@
+#include "gen/traffic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "cps/road_network.h"
+
+namespace atypical {
+namespace {
+
+class TrafficModelTest : public ::testing::Test {
+ protected:
+  TrafficModelTest() {
+    RoadNetworkConfig roads_config;
+    roads_config.num_highways = 6;
+    roads_config.area_width_miles = 15.0;
+    roads_config.area_height_miles = 10.0;
+    roads_ = RoadNetwork::Generate(roads_config);
+    SensorNetworkConfig sensors_config;
+    sensors_config.target_num_sensors = 50;
+    network_ = std::make_unique<SensorNetwork>(
+        SensorNetwork::Place(roads_, sensors_config));
+    model_ = std::make_unique<TrafficModel>(*network_, TrafficModelConfig{});
+  }
+
+  RoadNetwork roads_;
+  std::unique_ptr<SensorNetwork> network_;
+  std::unique_ptr<TrafficModel> model_;
+};
+
+TEST(DiurnalDemandTest, WeekdayRushPeaksDominateNight) {
+  const double am_rush = DiurnalDemand(8 * 60, /*weekend=*/false);
+  const double pm_rush = DiurnalDemand(17 * 60 + 30, /*weekend=*/false);
+  const double night = DiurnalDemand(3 * 60, /*weekend=*/false);
+  EXPECT_GT(am_rush, 0.8);
+  EXPECT_GT(pm_rush, 0.8);
+  EXPECT_LT(night, 0.25);
+}
+
+TEST(DiurnalDemandTest, WeekendHasMiddayPeakNoRush) {
+  const double midday = DiurnalDemand(13 * 60, /*weekend=*/true);
+  const double am = DiurnalDemand(8 * 60, /*weekend=*/true);
+  EXPECT_GT(midday, am);
+  EXPECT_LT(DiurnalDemand(8 * 60, true), DiurnalDemand(8 * 60, false));
+}
+
+TEST(DiurnalDemandTest, BoundedInUnitInterval) {
+  for (int m = 0; m < 1440; m += 7) {
+    for (bool weekend : {false, true}) {
+      const double d = DiurnalDemand(m, weekend);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST(DiurnalDemandTest, WrapsModulo1440) {
+  EXPECT_DOUBLE_EQ(DiurnalDemand(8 * 60, false),
+                   DiurnalDemand(8 * 60 + 1440, false));
+  EXPECT_DOUBLE_EQ(DiurnalDemand(-60, false), DiurnalDemand(1380, false));
+}
+
+TEST(IsWeekendTest, Day0IsMonday) {
+  EXPECT_FALSE(IsWeekend(0));  // Monday
+  EXPECT_FALSE(IsWeekend(4));  // Friday
+  EXPECT_TRUE(IsWeekend(5));   // Saturday
+  EXPECT_TRUE(IsWeekend(6));   // Sunday
+  EXPECT_FALSE(IsWeekend(7));  // next Monday
+  EXPECT_TRUE(IsWeekend(12));  // next Saturday
+}
+
+TEST_F(TrafficModelTest, FreeFlowSpeedsNearConfiguredMean) {
+  double sum = 0.0;
+  for (int s = 0; s < network_->num_sensors(); ++s) {
+    const double ff = model_->free_flow_mph(s);
+    EXPECT_GT(ff, 40.0);
+    EXPECT_LT(ff, 90.0);
+    sum += ff;
+  }
+  EXPECT_NEAR(sum / network_->num_sensors(), 65.0, 3.0);
+}
+
+TEST_F(TrafficModelTest, BaseSpeedDipsAtRushHour) {
+  const double rush = model_->BaseSpeed(0, 8 * 60, false);
+  const double night = model_->BaseSpeed(0, 3 * 60, false);
+  EXPECT_LT(rush, night);
+  EXPECT_GT(rush, 0.7 * model_->free_flow_mph(0));
+}
+
+TEST_F(TrafficModelTest, ObservedSpeedDropsWithCongestion) {
+  Rng rng(1);
+  double free_sum = 0.0;
+  double jam_sum = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    free_sum += model_->ObservedSpeed(0, 600, false, 0.0, rng);
+    jam_sum += model_->ObservedSpeed(0, 600, false, 1.0, rng);
+  }
+  EXPECT_LT(jam_sum / 200.0, 25.0);
+  EXPECT_GT(free_sum / 200.0, 45.0);
+}
+
+TEST_F(TrafficModelTest, ObservedSpeedNeverNonPositive) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(model_->ObservedSpeed(1, i % 1440, i % 2 == 0, 1.0, rng), 2.0);
+  }
+}
+
+TEST_F(TrafficModelTest, OccupancyDecreasesWithSpeed) {
+  const double slow = model_->Occupancy(10.0, 0);
+  const double mid = model_->Occupancy(40.0, 0);
+  const double fast = model_->Occupancy(model_->free_flow_mph(0), 0);
+  EXPECT_GT(slow, mid);
+  EXPECT_GT(mid, fast);
+  EXPECT_GE(fast, 0.0);
+  EXPECT_LE(slow, 1.0);
+}
+
+TEST_F(TrafficModelTest, DeterministicPerSeed) {
+  const TrafficModel other(*network_, TrafficModelConfig{});
+  for (int s = 0; s < network_->num_sensors(); ++s) {
+    EXPECT_DOUBLE_EQ(model_->free_flow_mph(s), other.free_flow_mph(s));
+  }
+}
+
+}  // namespace
+}  // namespace atypical

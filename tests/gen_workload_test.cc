@@ -1,0 +1,69 @@
+#include "gen/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+TEST(WorkloadTest, TinyScaleBuilds) {
+  const auto w = MakeWorkload(WorkloadScale::kTiny, 1);
+  EXPECT_EQ(w->roads.highways().size(), 6u);
+  EXPECT_GT(w->sensors->num_sensors(), 30);
+  EXPECT_LT(w->sensors->num_sensors(), 120);
+  EXPECT_GT(w->regions->num_regions(), 1);
+  EXPECT_EQ(w->num_months, 3);
+}
+
+TEST(WorkloadTest, SensorSpacingBelowDefaultDeltaD) {
+  // δd defaults to 1.5 miles; adjacent sensors must be closer than that or
+  // events could never span more than one sensor.
+  for (const WorkloadScale scale :
+       {WorkloadScale::kTiny, WorkloadScale::kSmall}) {
+    const auto w = MakeWorkload(scale, 1);
+    EXPECT_LT(w->sensors->spacing_miles(), 1.3)
+        << WorkloadScaleName(scale);
+  }
+}
+
+TEST(WorkloadTest, SmallScaleMatchesDesignTargets) {
+  const auto w = MakeWorkload(WorkloadScale::kSmall, 1);
+  EXPECT_EQ(w->roads.highways().size(), 14u);
+  EXPECT_GT(w->sensors->num_sensors(), 350);
+  EXPECT_LT(w->sensors->num_sensors(), 560);
+  EXPECT_EQ(w->gen_config.days_per_month, 28);
+  EXPECT_EQ(w->gen_config.time_grid.window_minutes(), 15);
+  EXPECT_EQ(w->num_months, 12);
+}
+
+TEST(WorkloadTest, ScaleNames) {
+  EXPECT_STREQ(WorkloadScaleName(WorkloadScale::kTiny), "tiny");
+  EXPECT_STREQ(WorkloadScaleName(WorkloadScale::kSmall), "small");
+  EXPECT_STREQ(WorkloadScaleName(WorkloadScale::kPaperLike), "paper-like");
+}
+
+TEST(WorkloadTest, SeedChangesGeneratedData) {
+  const auto a = MakeWorkload(WorkloadScale::kTiny, 1);
+  const auto b = MakeWorkload(WorkloadScale::kTiny, 2);
+  const auto ra = a->generator->GenerateMonthAtypical(0);
+  const auto rb = b->generator->GenerateMonthAtypical(0);
+  EXPECT_TRUE(ra.size() != rb.size() ||
+              !std::equal(ra.begin(), ra.end(), rb.begin()));
+}
+
+TEST(WorkloadTest, SameSeedReproduces) {
+  const auto a = MakeWorkload(WorkloadScale::kTiny, 7);
+  const auto b = MakeWorkload(WorkloadScale::kTiny, 7);
+  const auto ra = a->generator->GenerateMonthAtypical(1);
+  const auto rb = b->generator->GenerateMonthAtypical(1);
+  ASSERT_EQ(ra.size(), rb.size());
+  EXPECT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin()));
+}
+
+TEST(WorkloadTest, RegionCellMilesPositive) {
+  EXPECT_GT(DefaultRegionCellMiles(WorkloadScale::kTiny), 0.0);
+  EXPECT_GT(DefaultRegionCellMiles(WorkloadScale::kSmall), 0.0);
+  EXPECT_GT(DefaultRegionCellMiles(WorkloadScale::kPaperLike), 0.0);
+}
+
+}  // namespace
+}  // namespace atypical

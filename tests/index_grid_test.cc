@@ -1,0 +1,127 @@
+// The grid index must return exactly the Def. 1 neighborhood — verified
+// against a brute-force scan over random record sets and parameter sweeps.
+#include "index/grid_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "util/random.h"
+
+namespace atypical {
+namespace index {
+namespace {
+
+struct IndexCase {
+  double delta_d;
+  int delta_t;
+  int num_records;
+  uint64_t seed;
+};
+
+class GridIndexPropertyTest : public ::testing::TestWithParam<IndexCase> {};
+
+std::vector<AtypicalRecord> RandomRecords(const SensorNetwork& network,
+                                          const TimeGrid& grid, int count,
+                                          Rng& rng) {
+  std::vector<AtypicalRecord> records;
+  records.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    AtypicalRecord r;
+    r.sensor = static_cast<SensorId>(
+        rng.UniformInt(static_cast<uint64_t>(network.num_sensors())));
+    r.window = grid.MakeWindow(static_cast<int>(rng.UniformInt(uint64_t{3})),
+                               static_cast<int>(rng.UniformInt(
+                                   static_cast<uint64_t>(grid.WindowsPerDay()))));
+    r.severity_minutes = 1.0f + static_cast<float>(rng.Uniform() * 10.0);
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
+  const IndexCase c = GetParam();
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 11);
+  const SensorNetwork& network = *workload->sensors;
+  const TimeGrid grid(15);
+  Rng rng(c.seed);
+  const std::vector<AtypicalRecord> records =
+      RandomRecords(network, grid, c.num_records, rng);
+
+  const GridIndex idx(records, network, grid, c.delta_d, c.delta_t);
+  std::vector<size_t> from_index;
+  for (size_t i = 0; i < records.size(); ++i) {
+    from_index.clear();
+    idx.DirectlyRelated(i, &from_index);
+    std::sort(from_index.begin(), from_index.end());
+
+    std::vector<size_t> brute;
+    const GeoPoint& loc = network.location(records[i].sensor);
+    for (size_t j = 0; j < records.size(); ++j) {
+      if (j == i) continue;
+      if (grid.IntervalMinutes(records[i].window, records[j].window) >=
+          c.delta_t) {
+        continue;
+      }
+      if (DistanceMiles(loc, network.location(records[j].sensor)) >=
+          c.delta_d) {
+        continue;
+      }
+      brute.push_back(j);
+    }
+    ASSERT_EQ(from_index, brute) << "record " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridIndexPropertyTest,
+    ::testing::Values(IndexCase{1.5, 15, 300, 1}, IndexCase{1.5, 15, 300, 2},
+                      IndexCase{3.0, 30, 300, 3}, IndexCase{6.0, 80, 200, 4},
+                      IndexCase{0.6, 15, 400, 5}, IndexCase{24.0, 45, 150, 6},
+                      IndexCase{1.5, 120, 250, 7}));
+
+TEST(GridIndexTest, EmptyRecordsWork) {
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 11);
+  const std::vector<AtypicalRecord> none;
+  const GridIndex idx(none, *workload->sensors, TimeGrid(15), 1.5, 15);
+  EXPECT_EQ(idx.num_records(), 0u);
+  EXPECT_EQ(idx.num_buckets(), 0u);
+}
+
+TEST(GridIndexTest, SelfIsNeverRelated) {
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 11);
+  const TimeGrid grid(15);
+  const std::vector<AtypicalRecord> records = {{0, 10, 5.0f, kNoEvent},
+                                               {0, 10, 5.0f, kNoEvent}};
+  const GridIndex idx(records, *workload->sensors, grid, 1.5, 15);
+  std::vector<size_t> out;
+  idx.DirectlyRelated(0, &out);
+  // The duplicate record is related, the record itself is not.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(GridIndexTest, BucketCountBoundedByRecords) {
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 11);
+  const TimeGrid grid(15);
+  Rng rng(9);
+  const std::vector<AtypicalRecord> records =
+      RandomRecords(*workload->sensors, grid, 500, rng);
+  const GridIndex idx(records, *workload->sensors, grid, 1.5, 15);
+  EXPECT_LE(idx.num_buckets(), records.size());
+  EXPECT_GT(idx.num_buckets(), 0u);
+}
+
+TEST(GridIndexDeathTest, RejectsBadThresholds) {
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 11);
+  const std::vector<AtypicalRecord> none;
+  EXPECT_DEATH(GridIndex(none, *workload->sensors, TimeGrid(15), 0.0, 15),
+               "Check failed");
+  EXPECT_DEATH(GridIndex(none, *workload->sensors, TimeGrid(15), 1.5, 0),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace atypical

@@ -1,0 +1,200 @@
+#include "storage/cluster_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "analytics/report.h"
+#include "gen/workload.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace storage {
+namespace {
+
+class ClusterIoTest : public ::testing::Test {
+ protected:
+  ClusterIoTest()
+      : workload_(MakeWorkload(WorkloadScale::kTiny, 73)),
+        grid_(workload_->gen_config.time_grid),
+        params_(analytics::DefaultForestParams()) {
+    path_ = ::testing::TempDir() + "/cluster_io_test.atypcf";
+  }
+  ~ClusterIoTest() override { std::remove(path_.c_str()); }
+
+  AtypicalForest BuildForest(int months) {
+    AtypicalForest forest(workload_->sensors.get(), grid_, params_);
+    for (int m = 0; m < months; ++m) {
+      forest.AddRecords(workload_->generator->GenerateMonthAtypical(m));
+    }
+    return forest;
+  }
+
+  static void ExpectClustersEqual(const AtypicalCluster& a,
+                                  const AtypicalCluster& b) {
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_TRUE(a.key_mode == b.key_mode);
+    EXPECT_EQ(a.first_day, b.first_day);
+    EXPECT_EQ(a.last_day, b.last_day);
+    EXPECT_EQ(a.num_records, b.num_records);
+    EXPECT_EQ(a.dominant_true_event, b.dominant_true_event);
+    EXPECT_EQ(a.left_child, b.left_child);
+    EXPECT_EQ(a.right_child, b.right_child);
+    EXPECT_EQ(a.micro_ids, b.micro_ids);
+    EXPECT_EQ(a.spatial.entries(), b.spatial.entries());
+    EXPECT_EQ(a.temporal.entries(), b.temporal.entries());
+  }
+
+  std::unique_ptr<Workload> workload_;
+  TimeGrid grid_;
+  ForestParams params_;
+  std::string path_;
+};
+
+TEST_F(ClusterIoTest, GroupsRoundTripExactly) {
+  AtypicalForest forest = BuildForest(1);
+  std::vector<ClusterGroup> groups;
+  for (int day : forest.Days()) {
+    groups.push_back(ClusterGroup{day, forest.MicrosOfDay(day)});
+  }
+  const Result<uint64_t> bytes = WriteClusterGroups(groups, path_);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_GT(*bytes, 0u);
+
+  const Result<std::vector<ClusterGroup>> back = ReadClusterGroups(path_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_EQ((*back)[g].tag, groups[g].tag);
+    ASSERT_EQ((*back)[g].clusters.size(), groups[g].clusters.size());
+    for (size_t c = 0; c < groups[g].clusters.size(); ++c) {
+      ExpectClustersEqual((*back)[g].clusters[c], groups[g].clusters[c]);
+    }
+  }
+}
+
+TEST_F(ClusterIoTest, ForestRoundTripsWithMaterializedLevels) {
+  AtypicalForest forest = BuildForest(2);
+  forest.MaterializeWeeks();
+  forest.MaterializeMonths(workload_->gen_config.days_per_month);
+  ASSERT_TRUE(SaveForest(forest, path_).ok());
+
+  Result<AtypicalForest> loaded =
+      LoadForest(path_, workload_->sensors.get(), grid_, params_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Days(), forest.Days());
+  EXPECT_EQ(loaded->num_micro_clusters(), forest.num_micro_clusters());
+  EXPECT_EQ(loaded->MaterializedWeeks(), forest.MaterializedWeeks());
+  EXPECT_EQ(loaded->MaterializedMonths(), forest.MaterializedMonths());
+  for (int day : forest.Days()) {
+    ASSERT_EQ(loaded->MicrosOfDay(day).size(), forest.MicrosOfDay(day).size());
+    for (size_t i = 0; i < forest.MicrosOfDay(day).size(); ++i) {
+      ExpectClustersEqual(loaded->MicrosOfDay(day)[i],
+                          forest.MicrosOfDay(day)[i]);
+    }
+  }
+  for (int week : forest.MaterializedWeeks()) {
+    ASSERT_EQ(loaded->MacrosOfWeek(week).size(),
+              forest.MacrosOfWeek(week).size());
+  }
+}
+
+TEST_F(ClusterIoTest, LoadedForestKeepsGeneratingFreshIds) {
+  AtypicalForest forest = BuildForest(1);
+  ASSERT_TRUE(SaveForest(forest, path_).ok());
+  Result<AtypicalForest> loaded =
+      LoadForest(path_, workload_->sensors.get(), grid_, params_);
+  ASSERT_TRUE(loaded.ok());
+  ClusterId max_id = 0;
+  for (int day : loaded->Days()) {
+    for (const AtypicalCluster& c : loaded->MicrosOfDay(day)) {
+      max_id = std::max(max_id, c.id);
+    }
+  }
+  EXPECT_GT(loaded->ids()->Next(), max_id);
+}
+
+TEST_F(ClusterIoTest, LoadedForestAnswersQueriesLikeTheOriginal) {
+  AtypicalForest forest = BuildForest(2);
+  ASSERT_TRUE(SaveForest(forest, path_).ok());
+  Result<AtypicalForest> loaded =
+      LoadForest(path_, workload_->sensors.get(), grid_, params_);
+  ASSERT_TRUE(loaded.ok());
+
+  cube::BottomUpCube cube;
+  for (int m = 0; m < 2; ++m) {
+    cube.MergeFrom(cube::BottomUpCube::FromAtypical(
+        workload_->generator->GenerateMonthAtypical(m), *workload_->regions,
+        grid_));
+  }
+  AnalyticalQuery query;
+  query.area = workload_->sensors->bounds();
+  query.days = DayRange{0, 13};
+  const QueryEngineOptions options = analytics::DefaultEngineOptions();
+  const QueryResult a =
+      QueryEngine(workload_->sensors.get(), workload_->regions.get(), &forest,
+                  &cube, options)
+          .Run(query, QueryStrategy::kGuided);
+  const QueryResult b =
+      QueryEngine(workload_->sensors.get(), workload_->regions.get(),
+                  &*loaded, &cube, options)
+          .Run(query, QueryStrategy::kGuided);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  double mass_a = 0.0;
+  double mass_b = 0.0;
+  for (const auto& c : a.clusters) mass_a += c.severity();
+  for (const auto& c : b.clusters) mass_b += c.severity();
+  EXPECT_NEAR(mass_a, mass_b, 1e-6);
+}
+
+TEST_F(ClusterIoTest, EmptyGroupListRoundTrips) {
+  ASSERT_TRUE(WriteClusterGroups({}, path_).ok());
+  const auto back = ReadClusterGroups(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(ClusterIoTest, CorruptionIsDetected) {
+  AtypicalForest forest = BuildForest(1);
+  ASSERT_TRUE(SaveForest(forest, path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] ^= 0x20;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_EQ(ReadClusterGroups(path_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ClusterIoTest, TruncationIsDetected) {
+  AtypicalForest forest = BuildForest(1);
+  ASSERT_TRUE(SaveForest(forest, path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() * 2 / 3);
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_EQ(ReadClusterGroups(path_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ClusterIoTest, WrongMagicRejected) {
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << "NOTACLUSTERFILE_____________";
+  out.close();
+  EXPECT_EQ(ReadClusterGroups(path_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ClusterIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadClusterGroups("/no/such/file").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical

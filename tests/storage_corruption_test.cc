@@ -1,0 +1,122 @@
+// Failure injection on the on-disk format: every corruption must surface as
+// a DataLoss status, never as silent bad data or a crash.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace storage {
+namespace {
+
+class StorageCorruptionTest : public ::testing::Test {
+ protected:
+  StorageCorruptionTest() {
+    const auto workload = MakeWorkload(WorkloadScale::kTiny, 4);
+    dataset_ = workload->generator->GenerateMonth(0);
+    path_ = ::testing::TempDir() + "/corruption_test.atyp";
+    WriterOptions options;
+    options.block_records = 1000;
+    CHECK_OK(WriteDataset(dataset_, path_, options).status());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+  }
+  ~StorageCorruptionTest() override { std::remove(path_.c_str()); }
+
+  // Writes `bytes_` (possibly mutated) back and returns the read status.
+  Status ReadBackStatus() {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
+    out.close();
+    return ReadDataset(path_).status();
+  }
+
+  Dataset dataset_;
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(StorageCorruptionTest, PristineFileReads) {
+  EXPECT_TRUE(ReadBackStatus().ok());
+}
+
+TEST_F(StorageCorruptionTest, FlippedPayloadByteFailsCrc) {
+  // Flip a byte well inside the first block's payload.
+  bytes_[8 + 28 + 8 + 100] ^= 0x40;
+  const Status s = ReadBackStatus();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("crc"), std::string::npos);
+}
+
+TEST_F(StorageCorruptionTest, BadMagicRejected) {
+  bytes_[0] = 'X';
+  const Status s = ReadBackStatus();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("magic"), std::string::npos);
+}
+
+TEST_F(StorageCorruptionTest, UnsupportedVersionRejected) {
+  bytes_[8] = 99;  // version field, first header byte
+  EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageCorruptionTest, ImplausibleWindowMinutesRejected) {
+  bytes_[8 + 20] = 7;  // window_minutes = 7 does not divide 1440
+  EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageCorruptionTest, TruncatedHeaderRejected) {
+  bytes_.resize(20);
+  EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageCorruptionTest, TruncatedPayloadRejected) {
+  bytes_.resize(bytes_.size() / 2);
+  EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageCorruptionTest, MissingFooterRejected) {
+  bytes_.resize(bytes_.size() - 12);
+  EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageCorruptionTest, FooterCountMismatchRejected) {
+  // Corrupt the footer's record count (last 8 bytes).
+  bytes_[bytes_.size() - 1] ^= 0x01;
+  const Status s = ReadBackStatus();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("footer"), std::string::npos);
+}
+
+TEST_F(StorageCorruptionTest, EmptyFileRejected) {
+  bytes_.clear();
+  EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageCorruptionTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadDataset("/no/such/file.atyp").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(StorageCorruptionTest, ScanAtypicalAlsoDetectsCorruption) {
+  bytes_[8 + 28 + 8 + 50] ^= 0x10;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
+  out.close();
+  Result<DatasetReader> reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  const Result<int64_t> scanned =
+      reader->ScanAtypical([](const AtypicalRecord&) {});
+  EXPECT_FALSE(scanned.ok());
+  EXPECT_EQ(scanned.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical

@@ -1,0 +1,102 @@
+#include "storage/csv_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+
+namespace atypical {
+namespace storage {
+namespace {
+
+class CsvIoTest : public ::testing::Test {
+ protected:
+  CsvIoTest() { path_ = ::testing::TempDir() + "/csv_io_test.csv"; }
+  ~CsvIoTest() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvIoTest, AtypicalRoundTrip) {
+  const std::vector<AtypicalRecord> records = {
+      {1, 100, 4.5f, kNoEvent},
+      {2, 101, 15.0f, kNoEvent},
+      {3, 200, 0.5f, kNoEvent},
+  };
+  ASSERT_TRUE(WriteAtypicalCsv(records, path_).ok());
+  const Result<std::vector<AtypicalRecord>> back = ReadAtypicalCsv(path_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i].sensor, records[i].sensor);
+    EXPECT_EQ((*back)[i].window, records[i].window);
+    EXPECT_FLOAT_EQ((*back)[i].severity_minutes,
+                    records[i].severity_minutes);
+  }
+}
+
+TEST_F(CsvIoTest, ReadingsCsvHasHeaderAndRows) {
+  const auto workload = MakeWorkload(WorkloadScale::kTiny, 5);
+  Dataset ds = workload->generator->GenerateMonth(0);
+  // Keep the file small.
+  ds.mutable_readings().resize(10);
+  ASSERT_TRUE(WriteReadingsCsv(ds, path_).ok());
+  std::ifstream in(path_);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "sensor,window,speed_mph,occupancy,atypical_minutes");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 10);
+}
+
+TEST_F(CsvIoTest, RejectsWrongHeader) {
+  WriteFile("foo,bar\n1,2\n");
+  const auto r = ReadAtypicalCsv(path_);
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CsvIoTest, RejectsMalformedRow) {
+  WriteFile("sensor,window,severity_minutes\n1,2,3.0\nnot-a-number,5,1.0\n");
+  const auto r = ReadAtypicalCsv(path_);
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find(":3"), std::string::npos);
+}
+
+TEST_F(CsvIoTest, RejectsWrongFieldCount) {
+  WriteFile("sensor,window,severity_minutes\n1,2\n");
+  EXPECT_EQ(ReadAtypicalCsv(path_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CsvIoTest, RejectsNegativeSeverity) {
+  WriteFile("sensor,window,severity_minutes\n1,2,-3.0\n");
+  EXPECT_EQ(ReadAtypicalCsv(path_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CsvIoTest, EmptyFileRejected) {
+  WriteFile("");
+  EXPECT_EQ(ReadAtypicalCsv(path_).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CsvIoTest, SkipsBlankLines) {
+  WriteFile("sensor,window,severity_minutes\n1,2,3.0\n\n4,5,6.0\n");
+  const auto r = ReadAtypicalCsv(path_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(CsvIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadAtypicalCsv("/no/such/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical

@@ -1,0 +1,110 @@
+#include "storage/format.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace storage {
+namespace {
+
+TEST(WireRecordTest, EncodeDecodeRoundTrip) {
+  Reading r;
+  r.sensor = 1234;
+  r.window = 56789;
+  r.speed_mph = 61.25f;
+  r.occupancy = 0.375f;
+  r.atypical_minutes = 4.5f;
+  r.true_event = 0x1122334455667788ULL;
+  uint8_t buf[kWireRecordBytes];
+  EncodeRecord(r, buf);
+  const Reading back = DecodeRecord(buf);
+  EXPECT_EQ(back.sensor, r.sensor);
+  EXPECT_EQ(back.window, r.window);
+  EXPECT_EQ(back.speed_mph, r.speed_mph);
+  EXPECT_EQ(back.occupancy, r.occupancy);
+  EXPECT_EQ(back.atypical_minutes, r.atypical_minutes);
+  EXPECT_EQ(back.true_event, r.true_event);
+}
+
+TEST(WireRecordTest, EncodingIsLittleEndianStable) {
+  Reading r;
+  r.sensor = 0x01020304;
+  r.window = 0x0a0b0c0d;
+  uint8_t buf[kWireRecordBytes] = {};
+  EncodeRecord(r, buf);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(buf[4], 0x0d);
+  EXPECT_EQ(buf[7], 0x0a);
+}
+
+TEST(FileHeaderTest, EncodeDecodeRoundTrip) {
+  FileHeader h;
+  h.version = 1;
+  h.month_index = 11;
+  h.first_day = 308;
+  h.num_days = 28;
+  h.num_sensors = 450;
+  h.window_minutes = 15;
+  h.block_records = 1024;
+  uint8_t buf[kFileHeaderBytes];
+  EncodeFileHeader(h, buf);
+  const FileHeader back = DecodeFileHeader(buf);
+  EXPECT_EQ(back.version, h.version);
+  EXPECT_EQ(back.month_index, h.month_index);
+  EXPECT_EQ(back.first_day, h.first_day);
+  EXPECT_EQ(back.num_days, h.num_days);
+  EXPECT_EQ(back.num_sensors, h.num_sensors);
+  EXPECT_EQ(back.window_minutes, h.window_minutes);
+  EXPECT_EQ(back.block_records, h.block_records);
+}
+
+TEST(BlockHeaderTest, EncodeDecodeRoundTrip) {
+  BlockHeader b;
+  b.record_count = 65536;
+  b.crc32 = 0xdeadbeef;
+  uint8_t buf[kBlockHeaderBytes];
+  EncodeBlockHeader(b, buf);
+  const BlockHeader back = DecodeBlockHeader(buf);
+  EXPECT_EQ(back.record_count, b.record_count);
+  EXPECT_EQ(back.crc32, b.crc32);
+}
+
+TEST(FooterTest, EncodeDecodeRoundTrip) {
+  Footer f;
+  f.total_records = 0x0102030405060708ULL;
+  uint8_t buf[kFooterBytes];
+  EncodeFooter(f, buf);
+  const Footer back = DecodeFooter(buf);
+  EXPECT_EQ(back.magic, kFooterMagic);
+  EXPECT_EQ(back.total_records, f.total_records);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical CRC-32 check value.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, SensitiveToSingleBitFlips) {
+  uint8_t data[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  const uint32_t base = Crc32(data, sizeof(data));
+  for (size_t i = 0; i < sizeof(data); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(data, sizeof(data)), base) << "byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(FormatConstantsTest, FooterMagicCannotBeARecordCount) {
+  // NextBlock disambiguates footer from block by the first u32; the footer
+  // magic must therefore exceed any plausible record count.
+  EXPECT_GT(kFooterMagic, 1u << 28);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical

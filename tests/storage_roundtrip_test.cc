@@ -1,0 +1,124 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
+
+namespace atypical {
+namespace storage {
+namespace {
+
+class StorageRoundTripTest : public ::testing::Test {
+ protected:
+  StorageRoundTripTest() : workload_(MakeWorkload(WorkloadScale::kTiny, 3)) {
+    dataset_ = workload_->generator->GenerateMonth(0);
+    path_ = ::testing::TempDir() + "/roundtrip_test.atyp";
+  }
+  ~StorageRoundTripTest() override { std::remove(path_.c_str()); }
+
+  std::unique_ptr<Workload> workload_;
+  Dataset dataset_;
+  std::string path_;
+};
+
+TEST_F(StorageRoundTripTest, WriteThenReadAllIsIdentity) {
+  const Result<uint64_t> bytes = WriteDataset(dataset_, path_);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_GT(*bytes, 0u);
+
+  const Result<Dataset> back = ReadDataset(path_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_readings(), dataset_.num_readings());
+  for (int64_t i = 0; i < dataset_.num_readings(); ++i) {
+    const Reading& a = dataset_.readings()[i];
+    const Reading& b = back->readings()[i];
+    ASSERT_EQ(a.sensor, b.sensor) << i;
+    ASSERT_EQ(a.window, b.window) << i;
+    ASSERT_EQ(a.speed_mph, b.speed_mph) << i;
+    ASSERT_EQ(a.occupancy, b.occupancy) << i;
+    ASSERT_EQ(a.atypical_minutes, b.atypical_minutes) << i;
+    ASSERT_EQ(a.true_event, b.true_event) << i;
+  }
+}
+
+TEST_F(StorageRoundTripTest, MetaSurvivesRoundTrip) {
+  ASSERT_TRUE(WriteDataset(dataset_, path_).ok());
+  const Result<DatasetReader> reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  const DatasetMeta& meta = reader->meta();
+  EXPECT_EQ(meta.month_index, dataset_.meta().month_index);
+  EXPECT_EQ(meta.first_day, dataset_.meta().first_day);
+  EXPECT_EQ(meta.num_days, dataset_.meta().num_days);
+  EXPECT_EQ(meta.num_sensors, dataset_.meta().num_sensors);
+  EXPECT_EQ(meta.time_grid.window_minutes(),
+            dataset_.meta().time_grid.window_minutes());
+}
+
+TEST_F(StorageRoundTripTest, SmallBlocksProduceManyBlocksSameData) {
+  WriterOptions options;
+  options.block_records = 100;  // force thousands of blocks
+  ASSERT_TRUE(WriteDataset(dataset_, path_, options).ok());
+
+  Result<DatasetReader> reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  int64_t total = 0;
+  int blocks = 0;
+  std::vector<Reading> block;
+  while (true) {
+    Result<bool> more = reader->NextBlock(&block);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    EXPECT_LE(block.size(), 100u);
+    total += static_cast<int64_t>(block.size());
+    ++blocks;
+  }
+  EXPECT_EQ(total, dataset_.num_readings());
+  EXPECT_EQ(blocks, (dataset_.num_readings() + 99) / 100);
+}
+
+TEST_F(StorageRoundTripTest, ScanAtypicalSelectsAtypicalRecords) {
+  ASSERT_TRUE(WriteDataset(dataset_, path_).ok());
+  Result<DatasetReader> reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<AtypicalRecord> scanned;
+  const Result<int64_t> total = reader->ScanAtypical(
+      [&](const AtypicalRecord& r) { scanned.push_back(r); });
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, dataset_.num_readings());
+  const std::vector<AtypicalRecord> expected =
+      dataset_.ExtractAtypicalRecords();
+  ASSERT_EQ(scanned.size(), expected.size());
+  for (size_t i = 0; i < scanned.size(); ++i) {
+    EXPECT_EQ(scanned[i], expected[i]) << i;
+  }
+}
+
+TEST_F(StorageRoundTripTest, EmptyDatasetRoundTrips) {
+  DatasetMeta meta = dataset_.meta();
+  const Dataset empty(meta, {});
+  ASSERT_TRUE(WriteDataset(empty, path_).ok());
+  const Result<Dataset> back = ReadDataset(path_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_readings(), 0);
+}
+
+TEST_F(StorageRoundTripTest, RejectsZeroBlockRecords) {
+  WriterOptions options;
+  options.block_records = 0;
+  const Result<uint64_t> r = WriteDataset(dataset_, path_, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StorageRoundTripTest, WriteToUnwritablePathFails) {
+  const Result<uint64_t> r =
+      WriteDataset(dataset_, "/nonexistent-dir-xyz/a.atyp");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical

@@ -1,0 +1,81 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+TEST(TableTest, AlignedRendering) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.ToAlignedString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"x", "y"});
+  t.AddNumericRow({1.23456, 2.0}, 2);
+  EXPECT_EQ(t.rows()[0][0], "1.23");
+  EXPECT_EQ(t.rows()[0][1], "2.00");
+}
+
+TEST(TableTest, CsvEscapesSpecialCells) {
+  Table t({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"quote\"inside", "line\nbreak"});
+  const std::string csv = t.ToCsvString();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTripThroughFile) {
+  Table t({"k", "v"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "2"});
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "k,v");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "alpha,1");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "beta,2");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvToBadPathFails) {
+  Table t({"a"});
+  const Status s = t.WriteCsv("/nonexistent-dir-xyz/file.csv");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(TableTest, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableDeathTest, ArityMismatchDies) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(TableDeathTest, EmptyHeaderDies) {
+  EXPECT_DEATH(Table t(std::vector<std::string>{}), "Check failed");
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,84 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EmptyCommandLine) {
+  const FlagParser flags = Parse({});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_TRUE(flags.positional().empty());
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+}
+
+TEST(FlagParserTest, PositionalThenFlags) {
+  const FlagParser flags = Parse({"analyze", "extra", "--dir", "/tmp/x"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"analyze", "extra"}));
+  EXPECT_EQ(flags.GetString("dir", ""), "/tmp/x");
+}
+
+TEST(FlagParserTest, EqualsAndSpaceForms) {
+  const FlagParser flags = Parse({"--a=1", "--b", "2", "--c=x=y"});
+  EXPECT_EQ(flags.GetInt("a", 0), 1);
+  EXPECT_EQ(flags.GetInt("b", 0), 2);
+  EXPECT_EQ(flags.GetString("c", ""), "x=y");
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  const FlagParser flags = Parse({"--verbose", "--count=3"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("count", 0), 3);
+}
+
+TEST(FlagParserTest, BareFlagAtEnd) {
+  const FlagParser flags = Parse({"--post-check"});
+  EXPECT_TRUE(flags.Has("post-check"));
+  EXPECT_TRUE(flags.GetBool("post-check", false));
+}
+
+TEST(FlagParserTest, TypedGetters) {
+  const FlagParser flags = Parse({"--f=1.5", "--i=42", "--b=false"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("f", 0.0), 1.5);
+  EXPECT_EQ(flags.GetInt("i", 0), 42);
+  EXPECT_FALSE(flags.GetBool("b", true));
+}
+
+TEST(FlagParserTest, MalformedValuesSetError) {
+  const FlagParser flags = Parse({"--i=abc"});
+  EXPECT_EQ(flags.GetInt("i", 7), 7);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("--i"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedBoolSetsError) {
+  const FlagParser flags = Parse({"--b=maybe"});
+  EXPECT_TRUE(flags.GetBool("b", true));
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagParserTest, PositionalAfterFlagsIsError) {
+  const FlagParser flags = Parse({"--a=1", "stray"});
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagParserTest, UnreadFlagsDetected) {
+  const FlagParser flags = Parse({"--used=1", "--typo=2"});
+  (void)flags.GetInt("used", 0);
+  EXPECT_EQ(flags.UnreadFlags(), std::vector<std::string>{"typo"});
+}
+
+TEST(FlagParserTest, LastOccurrenceWins) {
+  const FlagParser flags = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace atypical

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace atypical {
+namespace {
+
+TEST(LoggingTest, SeverityFilterRoundTrips) {
+  const LogSeverity before = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(before);
+}
+
+TEST(LoggingTest, InfoLogDoesNotAbort) {
+  LOG(INFO) << "harmless message " << 42;
+  LOG(WARNING) << "harmless warning";
+  LOG(ERROR) << "harmless error";
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CHECK(true);
+  CHECK_EQ(1, 1);
+  CHECK_NE(1, 2);
+  CHECK_LT(1, 2);
+  CHECK_LE(2, 2);
+  CHECK_GT(2, 1);
+  CHECK_GE(2, 2);
+  CHECK_OK(Status::Ok());
+}
+
+TEST(CheckTest, ChecksEvaluateOperandsOnce) {
+  int calls = 0;
+  auto bump = [&]() { return ++calls; };
+  CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(CHECK(false) << "context here", "Check failed: false");
+}
+
+TEST(CheckDeathTest, FailedCheckEqPrintsValues) {
+  const int a = 3;
+  const int b = 7;
+  EXPECT_DEATH(CHECK_EQ(a, b), "3 vs 7");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(CHECK_OK(DataLossError("bad block")), "data_loss: bad block");
+}
+
+TEST(CheckDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(LOG(FATAL) << "fatal condition", "fatal condition");
+}
+
+}  // namespace
+}  // namespace atypical

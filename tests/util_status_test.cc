@@ -1,0 +1,92 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad delta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad delta");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad delta");
+}
+
+TEST(StatusTest, FactoryHelpersSetExpectedCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusCodeNameTest, AllCodesNamed) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "data_loss");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "io_error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultDeathTest, ValueOnErrorDies) {
+  Result<int> r(InternalError("boom"));
+  EXPECT_DEATH((void)r.value(), "boom");
+}
+
+Status FailsWhen(bool fail) {
+  ATYPICAL_RETURN_IF_ERROR(fail ? InternalError("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(ReturnIfErrorTest, PropagatesAndPasses) {
+  EXPECT_TRUE(FailsWhen(false).ok());
+  EXPECT_EQ(FailsWhen(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(FailsWhen(true).message(), "inner");
+}
+
+}  // namespace
+}  // namespace atypical
