@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_redzone.dir/bench_ablation_redzone.cc.o"
+  "CMakeFiles/bench_ablation_redzone.dir/bench_ablation_redzone.cc.o.d"
+  "bench_ablation_redzone"
+  "bench_ablation_redzone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_redzone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

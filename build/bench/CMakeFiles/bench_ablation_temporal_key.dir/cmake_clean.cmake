@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_temporal_key.dir/bench_ablation_temporal_key.cc.o"
+  "CMakeFiles/bench_ablation_temporal_key.dir/bench_ablation_temporal_key.cc.o.d"
+  "bench_ablation_temporal_key"
+  "bench_ablation_temporal_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_temporal_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_effectiveness_range.dir/bench_fig18_effectiveness_range.cc.o"
+  "CMakeFiles/bench_fig18_effectiveness_range.dir/bench_fig18_effectiveness_range.cc.o.d"
+  "bench_fig18_effectiveness_range"
+  "bench_fig18_effectiveness_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_effectiveness_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

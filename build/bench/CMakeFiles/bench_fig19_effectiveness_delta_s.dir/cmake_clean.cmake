@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_effectiveness_delta_s.dir/bench_fig19_effectiveness_delta_s.cc.o"
+  "CMakeFiles/bench_fig19_effectiveness_delta_s.dir/bench_fig19_effectiveness_delta_s.cc.o.d"
+  "bench_fig19_effectiveness_delta_s"
+  "bench_fig19_effectiveness_delta_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_effectiveness_delta_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_cluster_counts.dir/bench_fig20_cluster_counts.cc.o"
+  "CMakeFiles/bench_fig20_cluster_counts.dir/bench_fig20_cluster_counts.cc.o.d"
+  "bench_fig20_cluster_counts"
+  "bench_fig20_cluster_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_cluster_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_balance_functions.dir/bench_fig21_balance_functions.cc.o"
+  "CMakeFiles/bench_fig21_balance_functions.dir/bench_fig21_balance_functions.cc.o.d"
+  "bench_fig21_balance_functions"
+  "bench_fig21_balance_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_balance_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atypical_cli.dir/atypical_cli.cc.o"
+  "CMakeFiles/atypical_cli.dir/atypical_cli.cc.o.d"
+  "atypical_cli"
+  "atypical_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atypical_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

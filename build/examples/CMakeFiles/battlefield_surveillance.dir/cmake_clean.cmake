@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battlefield_surveillance.dir/battlefield_surveillance.cc.o"
+  "CMakeFiles/battlefield_surveillance.dir/battlefield_surveillance.cc.o.d"
+  "battlefield_surveillance"
+  "battlefield_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battlefield_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

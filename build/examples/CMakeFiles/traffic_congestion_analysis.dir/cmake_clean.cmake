@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_congestion_analysis.dir/traffic_congestion_analysis.cc.o"
+  "CMakeFiles/traffic_congestion_analysis.dir/traffic_congestion_analysis.cc.o.d"
+  "traffic_congestion_analysis"
+  "traffic_congestion_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_congestion_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

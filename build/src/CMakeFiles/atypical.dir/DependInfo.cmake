@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/drilldown.cc" "src/CMakeFiles/atypical.dir/analytics/drilldown.cc.o" "gcc" "src/CMakeFiles/atypical.dir/analytics/drilldown.cc.o.d"
+  "/root/repo/src/analytics/ground_truth.cc" "src/CMakeFiles/atypical.dir/analytics/ground_truth.cc.o" "gcc" "src/CMakeFiles/atypical.dir/analytics/ground_truth.cc.o.d"
+  "/root/repo/src/analytics/metrics.cc" "src/CMakeFiles/atypical.dir/analytics/metrics.cc.o" "gcc" "src/CMakeFiles/atypical.dir/analytics/metrics.cc.o.d"
+  "/root/repo/src/analytics/report.cc" "src/CMakeFiles/atypical.dir/analytics/report.cc.o" "gcc" "src/CMakeFiles/atypical.dir/analytics/report.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/atypical.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/event_retrieval.cc" "src/CMakeFiles/atypical.dir/core/event_retrieval.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/event_retrieval.cc.o.d"
+  "/root/repo/src/core/forest.cc" "src/CMakeFiles/atypical.dir/core/forest.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/forest.cc.o.d"
+  "/root/repo/src/core/integration.cc" "src/CMakeFiles/atypical.dir/core/integration.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/integration.cc.o.d"
+  "/root/repo/src/core/merge.cc" "src/CMakeFiles/atypical.dir/core/merge.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/merge.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/atypical.dir/core/query.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/query.cc.o.d"
+  "/root/repo/src/core/significance.cc" "src/CMakeFiles/atypical.dir/core/significance.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/significance.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/atypical.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/similarity.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/CMakeFiles/atypical.dir/core/streaming.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/streaming.cc.o.d"
+  "/root/repo/src/core/temporal_key.cc" "src/CMakeFiles/atypical.dir/core/temporal_key.cc.o" "gcc" "src/CMakeFiles/atypical.dir/core/temporal_key.cc.o.d"
+  "/root/repo/src/cps/dataset.cc" "src/CMakeFiles/atypical.dir/cps/dataset.cc.o" "gcc" "src/CMakeFiles/atypical.dir/cps/dataset.cc.o.d"
+  "/root/repo/src/cps/region_grid.cc" "src/CMakeFiles/atypical.dir/cps/region_grid.cc.o" "gcc" "src/CMakeFiles/atypical.dir/cps/region_grid.cc.o.d"
+  "/root/repo/src/cps/road_network.cc" "src/CMakeFiles/atypical.dir/cps/road_network.cc.o" "gcc" "src/CMakeFiles/atypical.dir/cps/road_network.cc.o.d"
+  "/root/repo/src/cps/sensor_network.cc" "src/CMakeFiles/atypical.dir/cps/sensor_network.cc.o" "gcc" "src/CMakeFiles/atypical.dir/cps/sensor_network.cc.o.d"
+  "/root/repo/src/cube/cube.cc" "src/CMakeFiles/atypical.dir/cube/cube.cc.o" "gcc" "src/CMakeFiles/atypical.dir/cube/cube.cc.o.d"
+  "/root/repo/src/cube/hierarchy.cc" "src/CMakeFiles/atypical.dir/cube/hierarchy.cc.o" "gcc" "src/CMakeFiles/atypical.dir/cube/hierarchy.cc.o.d"
+  "/root/repo/src/cube/red_zone.cc" "src/CMakeFiles/atypical.dir/cube/red_zone.cc.o" "gcc" "src/CMakeFiles/atypical.dir/cube/red_zone.cc.o.d"
+  "/root/repo/src/ext/corroboration_filter.cc" "src/CMakeFiles/atypical.dir/ext/corroboration_filter.cc.o" "gcc" "src/CMakeFiles/atypical.dir/ext/corroboration_filter.cc.o.d"
+  "/root/repo/src/ext/detector.cc" "src/CMakeFiles/atypical.dir/ext/detector.cc.o" "gcc" "src/CMakeFiles/atypical.dir/ext/detector.cc.o.d"
+  "/root/repo/src/ext/prediction.cc" "src/CMakeFiles/atypical.dir/ext/prediction.cc.o" "gcc" "src/CMakeFiles/atypical.dir/ext/prediction.cc.o.d"
+  "/root/repo/src/gen/congestion_process.cc" "src/CMakeFiles/atypical.dir/gen/congestion_process.cc.o" "gcc" "src/CMakeFiles/atypical.dir/gen/congestion_process.cc.o.d"
+  "/root/repo/src/gen/traffic_gen.cc" "src/CMakeFiles/atypical.dir/gen/traffic_gen.cc.o" "gcc" "src/CMakeFiles/atypical.dir/gen/traffic_gen.cc.o.d"
+  "/root/repo/src/gen/traffic_model.cc" "src/CMakeFiles/atypical.dir/gen/traffic_model.cc.o" "gcc" "src/CMakeFiles/atypical.dir/gen/traffic_model.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/CMakeFiles/atypical.dir/gen/workload.cc.o" "gcc" "src/CMakeFiles/atypical.dir/gen/workload.cc.o.d"
+  "/root/repo/src/index/grid_index.cc" "src/CMakeFiles/atypical.dir/index/grid_index.cc.o" "gcc" "src/CMakeFiles/atypical.dir/index/grid_index.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/atypical.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/atypical.dir/index/rtree.cc.o.d"
+  "/root/repo/src/storage/cluster_io.cc" "src/CMakeFiles/atypical.dir/storage/cluster_io.cc.o" "gcc" "src/CMakeFiles/atypical.dir/storage/cluster_io.cc.o.d"
+  "/root/repo/src/storage/csv_io.cc" "src/CMakeFiles/atypical.dir/storage/csv_io.cc.o" "gcc" "src/CMakeFiles/atypical.dir/storage/csv_io.cc.o.d"
+  "/root/repo/src/storage/reader.cc" "src/CMakeFiles/atypical.dir/storage/reader.cc.o" "gcc" "src/CMakeFiles/atypical.dir/storage/reader.cc.o.d"
+  "/root/repo/src/storage/writer.cc" "src/CMakeFiles/atypical.dir/storage/writer.cc.o" "gcc" "src/CMakeFiles/atypical.dir/storage/writer.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/atypical.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/atypical.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/atypical.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/atypical.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/atypical.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/atypical.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/atypical.dir/util/random.cc.o" "gcc" "src/CMakeFiles/atypical.dir/util/random.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/atypical.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/atypical.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_drilldown_test.dir/analytics_drilldown_test.cc.o"
+  "CMakeFiles/analytics_drilldown_test.dir/analytics_drilldown_test.cc.o.d"
+  "analytics_drilldown_test"
+  "analytics_drilldown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_drilldown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

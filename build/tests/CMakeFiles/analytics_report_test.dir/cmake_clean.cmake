@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_report_test.dir/analytics_report_test.cc.o"
+  "CMakeFiles/analytics_report_test.dir/analytics_report_test.cc.o.d"
+  "analytics_report_test"
+  "analytics_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_event_retrieval_test.dir/core_event_retrieval_test.cc.o"
+  "CMakeFiles/core_event_retrieval_test.dir/core_event_retrieval_test.cc.o.d"
+  "core_event_retrieval_test"
+  "core_event_retrieval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_event_retrieval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_forest_test.dir/core_forest_test.cc.o"
+  "CMakeFiles/core_forest_test.dir/core_forest_test.cc.o.d"
+  "core_forest_test"
+  "core_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_significance_test.dir/core_significance_test.cc.o"
+  "CMakeFiles/core_significance_test.dir/core_significance_test.cc.o.d"
+  "core_significance_test"
+  "core_significance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_significance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

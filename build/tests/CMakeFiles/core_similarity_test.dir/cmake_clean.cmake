@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_similarity_test.dir/core_similarity_test.cc.o"
+  "CMakeFiles/core_similarity_test.dir/core_similarity_test.cc.o.d"
+  "core_similarity_test"
+  "core_similarity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

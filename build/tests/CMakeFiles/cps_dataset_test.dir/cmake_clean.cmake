@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_dataset_test.dir/cps_dataset_test.cc.o"
+  "CMakeFiles/cps_dataset_test.dir/cps_dataset_test.cc.o.d"
+  "cps_dataset_test"
+  "cps_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

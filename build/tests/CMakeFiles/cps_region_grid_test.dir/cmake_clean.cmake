@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_region_grid_test.dir/cps_region_grid_test.cc.o"
+  "CMakeFiles/cps_region_grid_test.dir/cps_region_grid_test.cc.o.d"
+  "cps_region_grid_test"
+  "cps_region_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_region_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_sensor_network_test.dir/cps_sensor_network_test.cc.o"
+  "CMakeFiles/cps_sensor_network_test.dir/cps_sensor_network_test.cc.o.d"
+  "cps_sensor_network_test"
+  "cps_sensor_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_sensor_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_types_test.dir/cps_types_test.cc.o"
+  "CMakeFiles/cps_types_test.dir/cps_types_test.cc.o.d"
+  "cps_types_test"
+  "cps_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

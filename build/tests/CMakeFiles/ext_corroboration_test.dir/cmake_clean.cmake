@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_corroboration_test.dir/ext_corroboration_test.cc.o"
+  "CMakeFiles/ext_corroboration_test.dir/ext_corroboration_test.cc.o.d"
+  "ext_corroboration_test"
+  "ext_corroboration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_corroboration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

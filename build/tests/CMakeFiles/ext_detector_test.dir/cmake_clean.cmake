@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_detector_test.dir/ext_detector_test.cc.o"
+  "CMakeFiles/ext_detector_test.dir/ext_detector_test.cc.o.d"
+  "ext_detector_test"
+  "ext_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_prediction_test.dir/ext_prediction_test.cc.o"
+  "CMakeFiles/ext_prediction_test.dir/ext_prediction_test.cc.o.d"
+  "ext_prediction_test"
+  "ext_prediction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

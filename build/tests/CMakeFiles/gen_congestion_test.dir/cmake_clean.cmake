@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_congestion_test.dir/gen_congestion_test.cc.o"
+  "CMakeFiles/gen_congestion_test.dir/gen_congestion_test.cc.o.d"
+  "gen_congestion_test"
+  "gen_congestion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_congestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_robustness_test.dir/gen_robustness_test.cc.o"
+  "CMakeFiles/gen_robustness_test.dir/gen_robustness_test.cc.o.d"
+  "gen_robustness_test"
+  "gen_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_traffic_model_test.dir/gen_traffic_model_test.cc.o"
+  "CMakeFiles/gen_traffic_model_test.dir/gen_traffic_model_test.cc.o.d"
+  "gen_traffic_model_test"
+  "gen_traffic_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_traffic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_workload_test.dir/gen_workload_test.cc.o"
+  "CMakeFiles/gen_workload_test.dir/gen_workload_test.cc.o.d"
+  "gen_workload_test"
+  "gen_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

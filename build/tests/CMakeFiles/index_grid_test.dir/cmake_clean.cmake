@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_grid_test.dir/index_grid_test.cc.o"
+  "CMakeFiles/index_grid_test.dir/index_grid_test.cc.o.d"
+  "index_grid_test"
+  "index_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

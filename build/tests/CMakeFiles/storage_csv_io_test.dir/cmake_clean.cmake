@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_csv_io_test.dir/storage_csv_io_test.cc.o"
+  "CMakeFiles/storage_csv_io_test.dir/storage_csv_io_test.cc.o.d"
+  "storage_csv_io_test"
+  "storage_csv_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_csv_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

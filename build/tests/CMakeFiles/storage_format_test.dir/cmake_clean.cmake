@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_format_test.dir/storage_format_test.cc.o"
+  "CMakeFiles/storage_format_test.dir/storage_format_test.cc.o.d"
+  "storage_format_test"
+  "storage_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_roundtrip_test.dir/storage_roundtrip_test.cc.o"
+  "CMakeFiles/storage_roundtrip_test.dir/storage_roundtrip_test.cc.o.d"
+  "storage_roundtrip_test"
+  "storage_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
