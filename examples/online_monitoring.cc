@@ -1,15 +1,27 @@
-// Online monitoring: data arrives day by day; each evening the system
-// appends the day's micro-clusters to the forest and the day's severities to
-// the bottom-up cube, then answers a rolling "last 7 days" query with
-// red-zone guided clustering — the paper's online analytical query
-// processing (Fig. 2, right half) driven incrementally.
+// Online monitoring under faults: data arrives day by day over a lossy
+// feed — late, duplicated and malformed records included — and the archive
+// read at startup has a corrupt block.  The robust ingest guard
+// (core/ingest.h) and the salvage reader (storage/reader.h) absorb the
+// damage; each evening the system appends the day's micro-clusters to the
+// forest and the validated severities to the bottom-up cube, then answers a
+// rolling "last 7 days" query with red-zone guided clustering — the paper's
+// online analytical query processing (Fig. 2, right half) driven
+// incrementally, now in degraded mode.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "analytics/report.h"
+#include "core/ingest.h"
 #include "core/query.h"
 #include "cube/cube.h"
 #include "gen/workload.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 int main() {
@@ -18,7 +30,50 @@ int main() {
   const auto workload = MakeWorkload(WorkloadScale::kTiny, 4);
   const TimeGrid grid = workload->gen_config.time_grid;
 
-  // Pre-generate three "months" of incoming data, split by day.
+  // ---- Startup: recover the archived month from a damaged file. ----
+  // Write month 0 to disk, flip one payload bit, then read it back in
+  // salvage mode: one block is lost, everything else survives.
+  const std::string archive = "/tmp/online_monitoring_archive.atyp";
+  {
+    const Dataset month0 = workload->generator->GenerateMonth(0);
+    storage::WriterOptions writer_options;
+    writer_options.block_records = 512;
+    const auto written = storage::WriteDataset(month0, archive, writer_options);
+    if (!written.ok()) {
+      std::printf("archive write failed: %s\n",
+                  written.status().ToString().c_str());
+      return 1;
+    }
+  }
+  {
+    std::ifstream in(archive, std::ios::binary);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    in.close();
+    // Flip one bit inside the first block's payload: that block's CRC
+    // check fails and salvage mode skips exactly one block.
+    const size_t payload = sizeof(storage::kMagic) + storage::kFileHeaderBytes +
+                           storage::kBlockHeaderBytes;
+    FaultPlan disk_fault(7);
+    disk_fault.FlipBit(&bytes, payload,
+                       payload + 512 * storage::kWireRecordBytes);
+    std::ofstream out(archive, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  storage::SalvageReport salvage;
+  const Result<Dataset> recovered =
+      storage::ReadDataset(archive, {.salvage = true}, &salvage);
+  std::remove(archive.c_str());
+  if (!recovered.ok()) {
+    std::printf("salvage read failed: %s\n",
+                recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("startup archive recovery: %s\n",
+              analytics::SalvageHealthLine(salvage).c_str());
+
+  // ---- Live feed: three months of days, mangled in transit. ----
   std::map<int, std::vector<AtypicalRecord>> incoming;
   for (int month = 0; month < workload->num_months; ++month) {
     for (const AtypicalRecord& r :
@@ -30,17 +85,41 @@ int main() {
   AtypicalForest forest(workload->sensors.get(), grid,
                         analytics::DefaultForestParams());
   cube::BottomUpCube severity_cube;
-  const QueryEngine engine(workload->sensors.get(), workload->regions.get(),
-                           &forest, &severity_cube,
-                           analytics::DefaultEngineOptions());
 
-  std::printf("day | micros | 7-day significant clusters (guided query)\n");
-  std::printf("----|--------|------------------------------------------\n");
+  IngestOptions ingest_options;
+  ingest_options.policy = IngestPolicy::kBuffer;
+  FaultPlan feed_fault(2026);
+
+  std::printf(
+      "day | micros | ingest health                             "
+      "| 7-day significant clusters\n"
+      "----|--------|-------------------------------------------"
+      "|---------------------------\n");
   for (const auto& [day, records] : incoming) {
-    // Evening ingest: one day of atypical records.
-    forest.AddDay(day, records);
+    // The transport delays, duplicates and corrupts the day's records.
+    std::vector<AtypicalRecord> feed = feed_fault.DelayRecords(
+        records, ingest_options.lateness_horizon_windows);
+    feed = feed_fault.DuplicateRecords(feed, 0.02);
+    feed = feed_fault.CorruptRecords(feed, 0.01, grid);
+
+    // Evening ingest through the guard: malformed records are quarantined,
+    // late ones reordered; only the validated stream reaches the forest and
+    // the severity cube.
+    std::vector<AtypicalCluster> day_micros;
+    std::vector<AtypicalRecord> validated;
+    RobustStreamingEventBuilder guard(
+        workload->sensors.get(), grid,
+        analytics::DefaultForestParams().retrieval, forest.ids(),
+        [&](AtypicalCluster c) { day_micros.push_back(std::move(c)); },
+        ingest_options);
+    guard.set_accept_tap(
+        [&](const AtypicalRecord& r) { validated.push_back(r); });
+    for (const AtypicalRecord& r : feed) guard.Add(r);
+    guard.Flush();
+
+    forest.InstallDay(day, std::move(day_micros));
     severity_cube.MergeFrom(cube::BottomUpCube::FromAtypical(
-        records, *workload->regions, grid));
+        validated, *workload->regions, grid));
 
     // Rolling weekly query ending today.
     AnalyticalQuery query;
@@ -58,7 +137,8 @@ int main() {
       const FeatureVector::Entry top = c.spatial.Top();
       summary += StrPrintf(" [s%u %.0fmin]", top.key, c.severity());
     }
-    std::printf("%3d | %6zu |%s\n", day, forest.MicrosOfDay(day).size(),
+    std::printf("%3d | %6zu | %s |%s\n", day, forest.MicrosOfDay(day).size(),
+                analytics::IngestHealthLine(guard.stats()).c_str(),
                 summary.empty() ? " (none)" : summary.c_str());
   }
 

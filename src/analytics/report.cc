@@ -1,6 +1,7 @@
 #include "analytics/report.h"
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace atypical {
 namespace analytics {
@@ -66,6 +67,31 @@ std::unique_ptr<ExperimentContext> BuildContext(WorkloadScale scale,
     ctx->monthly_atypical.push_back(std::move(records));
   }
   return ctx;
+}
+
+std::string IngestHealthLine(const IngestStats& stats) {
+  return StrPrintf(
+      "in=%llu ok=%llu reord=%llu quar=%llu "
+      "(sensor=%llu sev=%llu excess=%llu dup=%llu late=%llu)",
+      (unsigned long long)stats.records_in, (unsigned long long)stats.accepted,
+      (unsigned long long)stats.reordered,
+      (unsigned long long)stats.quarantined(),
+      (unsigned long long)stats.quarantined_unknown_sensor,
+      (unsigned long long)stats.quarantined_bad_severity,
+      (unsigned long long)stats.quarantined_excess_severity,
+      (unsigned long long)stats.quarantined_duplicate,
+      (unsigned long long)stats.quarantined_late);
+}
+
+std::string SalvageHealthLine(const storage::SalvageReport& report) {
+  std::string line = StrPrintf(
+      "salvage: %llu block%s skipped, %llu records recovered, %llu lost",
+      (unsigned long long)report.blocks_skipped,
+      report.blocks_skipped == 1 ? "" : "s",
+      (unsigned long long)report.records_recovered,
+      (unsigned long long)report.records_lost);
+  if (report.footer_missing) line += " [footer missing]";
+  return line;
 }
 
 }  // namespace analytics

@@ -6,12 +6,15 @@
 #define ATYPICAL_ANALYTICS_REPORT_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/forest.h"
+#include "core/ingest.h"
 #include "core/query.h"
 #include "cube/cube.h"
 #include "gen/workload.h"
+#include "storage/reader.h"
 
 namespace atypical {
 namespace analytics {
@@ -53,6 +56,16 @@ QueryEngineOptions DefaultEngineOptions();
 std::unique_ptr<ExperimentContext> BuildContext(
     WorkloadScale scale, int num_months,
     const ForestParams& params = DefaultForestParams(), uint64_t seed = 1);
+
+// One-line health summary of an ingest run, e.g.
+//   "in=1200 ok=1180 reord=40 quar=20 (sensor=3 sev=8 excess=0 dup=5 late=4)"
+// — the per-day health line printed by the online monitoring example.
+std::string IngestHealthLine(const IngestStats& stats);
+
+// One-line summary of a salvage read, e.g.
+//   "salvage: 1 block skipped, 119000 records recovered, 1000 lost"
+// (appends " [footer missing]" when the file was truncated).
+std::string SalvageHealthLine(const storage::SalvageReport& report);
 
 }  // namespace analytics
 }  // namespace atypical

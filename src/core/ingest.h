@@ -1,0 +1,154 @@
+// Fault-tolerant ingestion: the degraded-mode front end of streaming event
+// retrieval.
+//
+// `StreamingEventBuilder` (core/streaming.h) assumes a clean, window-ordered
+// feed and dies on anything else.  Real CPS feeds deliver late, duplicated
+// and malformed records; `RobustStreamingEventBuilder` wraps the strict
+// builder behind a validating guard:
+//
+//   * malformed records — unknown sensor id, NaN/negative severity, severity
+//     exceeding the window length, duplicate (sensor, window) pairs — are
+//     quarantined and never reach the builder;
+//   * out-of-order records are handled per `IngestPolicy`: `kStrict` dies
+//     exactly like the raw builder, `kDrop` quarantines them, `kBuffer`
+//     holds records in a bounded reorder buffer spanning
+//     `lateness_horizon_windows` and releases them in window order, so a
+//     stream permuted within the horizon produces exactly the clean-stream
+//     events (tested against batch retrieval);
+//   * every outcome lands in exactly one `IngestStats` counter, and the
+//     counters always reconcile with the number of records fed.
+//
+// The guard's state is bounded: the reorder buffer and the duplicate-
+// detection set only hold entries within the lateness horizon of the
+// watermark (the maximum accepted window so far).
+#ifndef ATYPICAL_CORE_INGEST_H_
+#define ATYPICAL_CORE_INGEST_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/streaming.h"
+
+namespace atypical {
+
+enum class IngestPolicy : int8_t {
+  kStrict,  // any quarantine verdict is fatal (the raw builder's contract)
+  kDrop,    // out-of-order records are quarantined; in-order ones flow through
+  kBuffer,  // records late by at most the horizon are reordered and kept
+};
+
+const char* IngestPolicyName(IngestPolicy policy);
+
+// Why a record was refused; kNone means it was accepted.
+enum class QuarantineCause : int8_t {
+  kNone = 0,
+  kUnknownSensor,   // sensor id not present in the network
+  kBadSeverity,     // NaN or negative severity
+  kExcessSeverity,  // severity exceeds the window length
+  kDuplicate,       // (sensor, window) already accepted
+  kLate,            // window too old for the policy to admit
+};
+
+const char* QuarantineCauseName(QuarantineCause cause);
+
+struct IngestOptions {
+  IngestPolicy policy = IngestPolicy::kBuffer;
+  // How many windows a record may lag behind the watermark and still be
+  // admitted under kBuffer.  Also bounds the reorder buffer and the
+  // duplicate-detection state.
+  int lateness_horizon_windows = 4;
+};
+
+// Ingest outcome counters.  Invariant (tested):
+//   records_in == accepted + quarantined().
+struct IngestStats {
+  uint64_t records_in = 0;  // everything fed to Add
+  uint64_t accepted = 0;    // admitted (forwarded to or buffered for the builder)
+  uint64_t reordered = 0;   // subset of accepted that arrived out of order
+  uint64_t quarantined_unknown_sensor = 0;
+  uint64_t quarantined_bad_severity = 0;
+  uint64_t quarantined_excess_severity = 0;
+  uint64_t quarantined_duplicate = 0;
+  uint64_t quarantined_late = 0;
+
+  uint64_t quarantined() const {
+    return quarantined_unknown_sensor + quarantined_bad_severity +
+           quarantined_excess_severity + quarantined_duplicate +
+           quarantined_late;
+  }
+  bool Reconciles() const { return records_in == accepted + quarantined(); }
+};
+
+class RobustStreamingEventBuilder {
+ public:
+  using EmitFn = StreamingEventBuilder::EmitFn;
+  // Observes every record actually released to the inner builder, in the
+  // (non-decreasing window) order it is released.
+  using AcceptFn = std::function<void(const AtypicalRecord&)>;
+
+  RobustStreamingEventBuilder(const SensorNetwork* network,
+                              const TimeGrid& grid,
+                              const RetrievalParams& params,
+                              ClusterIdGenerator* ids, EmitFn emit,
+                              const IngestOptions& options = {});
+
+  // Installs a tap on accepted records (e.g. to feed a severity cube with
+  // only the validated stream).  Must be set before the first Add.
+  void set_accept_tap(AcceptFn tap) { accept_tap_ = std::move(tap); }
+
+  // Feeds one record and returns the verdict (kNone = accepted).  Under
+  // kStrict any non-kNone verdict is fatal instead of returned.
+  QuarantineCause Add(const AtypicalRecord& record);
+
+  // Releases the reorder buffer in window order and closes all open events.
+  void Flush();
+
+  const IngestStats& stats() const { return stats_; }
+  size_t open_events() const { return builder_.open_events(); }
+  size_t buffered() const { return buffer_.size(); }
+  const IngestOptions& options() const { return options_; }
+
+  struct Quarantined {
+    AtypicalRecord record;
+    QuarantineCause cause = QuarantineCause::kNone;
+  };
+  // Most recent quarantined records with their causes — a bounded debugging
+  // log (the counters in stats() are always exact).
+  const std::deque<Quarantined>& quarantine_log() const {
+    return quarantine_log_;
+  }
+
+ private:
+  // Field validation independent of arrival order.
+  QuarantineCause ClassifyFields(const AtypicalRecord& record) const;
+  void Quarantine(const AtypicalRecord& record, QuarantineCause cause);
+  // Forwards to the inner builder and the accept tap.
+  void Forward(const AtypicalRecord& record);
+  // Releases buffered records whose window can no longer be preceded by any
+  // future admissible record, and prunes expired duplicate-detection state.
+  void ReleaseAndPrune();
+
+  const SensorNetwork* network_;
+  TimeGrid grid_;
+  IngestOptions options_;
+  StreamingEventBuilder builder_;
+  AcceptFn accept_tap_;
+
+  // Reorder buffer keyed by window (kBuffer only).
+  std::multimap<WindowId, AtypicalRecord> buffer_;
+  // Accepted (window, sensor) pairs within the horizon, for dedup.
+  std::set<std::pair<WindowId, SensorId>> seen_;
+  WindowId watermark_ = 0;  // max accepted window
+  bool has_watermark_ = false;
+  IngestStats stats_;
+  std::deque<Quarantined> quarantine_log_;
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_INGEST_H_

@@ -1,5 +1,6 @@
 #include "storage/reader.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/string_util.h"
@@ -7,9 +8,11 @@
 namespace atypical {
 namespace storage {
 
-Result<DatasetReader> DatasetReader::Open(const std::string& path) {
+Result<DatasetReader> DatasetReader::Open(const std::string& path,
+                                          const ReaderOptions& options) {
   DatasetReader reader;
   reader.path_ = path;
+  reader.options_ = options;
   reader.file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
   if (!*reader.file_) return IoError("cannot open: " + path);
 
@@ -44,65 +47,127 @@ Result<DatasetReader> DatasetReader::Open(const std::string& path) {
   reader.meta_.num_sensors = header.num_sensors;
   reader.meta_.time_grid = TimeGrid(header.window_minutes);
   reader.meta_.name = StrPrintf("D%d", header.month_index + 1);
+  reader.block_records_ = header.block_records;
   return reader;
 }
 
 Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
   out->clear();
-  if (saw_footer_) return false;
-
-  uint8_t head_buf[kFooterBytes];  // big enough for either header or footer
-  file_->read(reinterpret_cast<char*>(head_buf), kBlockHeaderBytes);
-  if (file_->gcount() != static_cast<std::streamsize>(kBlockHeaderBytes)) {
-    return DataLossError("truncated block header: " + path_);
+  if (file_ == nullptr) {
+    return FailedPreconditionError("reader is moved-from or closed: " + path_);
   }
+  if (saw_footer_ || exhausted_) return false;
 
-  // Disambiguate footer vs block: the footer starts with kFooterMagic, a
-  // value far larger than any sane record_count.  Peek the first field.
-  const uint32_t first_word = detail::GetU32(head_buf);
-  if (first_word == kFooterMagic) {
-    // Read the rest of the footer.
-    file_->read(reinterpret_cast<char*>(head_buf + kBlockHeaderBytes),
-                kFooterBytes - kBlockHeaderBytes);
-    if (file_->gcount() !=
-        static_cast<std::streamsize>(kFooterBytes - kBlockHeaderBytes)) {
-      return DataLossError("truncated footer: " + path_);
+  while (true) {
+    uint8_t head_buf[kFooterBytes];  // big enough for either header or footer
+    file_->read(reinterpret_cast<char*>(head_buf), kBlockHeaderBytes);
+    const std::streamsize head_got = file_->gcount();
+    if (head_got != static_cast<std::streamsize>(kBlockHeaderBytes)) {
+      if (!options_.salvage) {
+        return DataLossError("truncated block header: " + path_);
+      }
+      // The file ended mid-structure; there is nothing left to resync on.
+      if (head_got > 0) ++salvage_.blocks_skipped;
+      salvage_.footer_missing = true;
+      exhausted_ = true;
+      return false;
     }
-    const Footer footer = DecodeFooter(head_buf);
-    saw_footer_ = true;
-    footer_total_ = footer.total_records;
-    if (footer.total_records != records_read_) {
-      return DataLossError(StrPrintf(
-          "footer record count %llu != records read %llu in %s",
-          (unsigned long long)footer.total_records,
-          (unsigned long long)records_read_, path_.c_str()));
-    }
-    return false;
-  }
 
-  const BlockHeader block = DecodeBlockHeader(head_buf);
-  if (block.record_count == 0) {
-    return DataLossError("empty block: " + path_);
+    // Disambiguate footer vs block: the footer starts with kFooterMagic, a
+    // value far larger than any sane record_count.  Peek the first field.
+    const uint32_t first_word = detail::GetU32(head_buf);
+    if (first_word == kFooterMagic) {
+      // Read the rest of the footer.
+      file_->read(reinterpret_cast<char*>(head_buf + kBlockHeaderBytes),
+                  kFooterBytes - kBlockHeaderBytes);
+      if (file_->gcount() !=
+          static_cast<std::streamsize>(kFooterBytes - kBlockHeaderBytes)) {
+        if (!options_.salvage) {
+          return DataLossError("truncated footer: " + path_);
+        }
+        salvage_.footer_missing = true;
+        exhausted_ = true;
+        return false;
+      }
+      const Footer footer = DecodeFooter(head_buf);
+      saw_footer_ = true;
+      footer_total_ = footer.total_records;
+      if (options_.salvage) {
+        // The footer count is authoritative; it supersedes the claimed
+        // counts accumulated while skipping blocks.
+        salvage_.records_lost = footer.total_records > records_read_
+                                    ? footer.total_records - records_read_
+                                    : 0;
+      } else if (footer.total_records != records_read_) {
+        return DataLossError(StrPrintf(
+            "footer record count %llu != records read %llu in %s",
+            (unsigned long long)footer.total_records,
+            (unsigned long long)records_read_, path_.c_str()));
+      }
+      return false;
+    }
+
+    const BlockHeader block = DecodeBlockHeader(head_buf);
+    if (block.record_count == 0 || block.record_count > block_records_) {
+      if (!options_.salvage) {
+        if (block.record_count == 0) {
+          return DataLossError("empty block: " + path_);
+        }
+        return DataLossError(
+            StrPrintf("implausible block record count %u (max %u) in %s",
+                      block.record_count, block_records_, path_.c_str()));
+      }
+      // Corrupt block header: the payload length cannot be trusted.  Resync
+      // assuming the writer's fixed block size (every block but the last
+      // holds exactly block_records_ records).
+      ++salvage_.blocks_skipped;
+      salvage_.records_lost += block_records_;
+      file_->seekg(static_cast<std::streamoff>(block_records_) *
+                       static_cast<std::streamoff>(kWireRecordBytes),
+                   std::ios::cur);
+      if (!*file_) {
+        salvage_.footer_missing = true;
+        exhausted_ = true;
+        return false;
+      }
+      continue;
+    }
+
+    std::vector<uint8_t> payload(static_cast<size_t>(block.record_count) *
+                                 kWireRecordBytes);
+    file_->read(reinterpret_cast<char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+    if (file_->gcount() != static_cast<std::streamsize>(payload.size())) {
+      if (!options_.salvage) {
+        return DataLossError("truncated block payload: " + path_);
+      }
+      ++salvage_.blocks_skipped;
+      salvage_.records_lost += block.record_count;
+      salvage_.footer_missing = true;
+      exhausted_ = true;
+      return false;
+    }
+    const uint32_t crc = Crc32(payload.data(), payload.size());
+    if (crc != block.crc32) {
+      if (!options_.salvage) {
+        return DataLossError(
+            StrPrintf("crc mismatch in %s (got %08x want %08x)", path_.c_str(),
+                      crc, block.crc32));
+      }
+      // Skip this block; the stream is already positioned at the next
+      // block boundary.
+      ++salvage_.blocks_skipped;
+      salvage_.records_lost += block.record_count;
+      continue;
+    }
+    out->reserve(block.record_count);
+    for (uint32_t i = 0; i < block.record_count; ++i) {
+      out->push_back(DecodeRecord(payload.data() + i * kWireRecordBytes));
+    }
+    records_read_ += block.record_count;
+    salvage_.records_recovered = records_read_;
+    return true;
   }
-  std::vector<uint8_t> payload(static_cast<size_t>(block.record_count) *
-                               kWireRecordBytes);
-  file_->read(reinterpret_cast<char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-  if (file_->gcount() != static_cast<std::streamsize>(payload.size())) {
-    return DataLossError("truncated block payload: " + path_);
-  }
-  const uint32_t crc = Crc32(payload.data(), payload.size());
-  if (crc != block.crc32) {
-    return DataLossError(
-        StrPrintf("crc mismatch in %s (got %08x want %08x)", path_.c_str(),
-                  crc, block.crc32));
-  }
-  out->reserve(block.record_count);
-  for (uint32_t i = 0; i < block.record_count; ++i) {
-    out->push_back(DecodeRecord(payload.data() + i * kWireRecordBytes));
-  }
-  records_read_ += block.record_count;
-  return true;
 }
 
 Result<Dataset> DatasetReader::ReadAll() {
@@ -114,7 +179,9 @@ Result<Dataset> DatasetReader::ReadAll() {
     if (!*more) break;
     all.insert(all.end(), block.begin(), block.end());
   }
-  if (!saw_footer_) return DataLossError("missing footer: " + path_);
+  if (!saw_footer_ && !options_.salvage) {
+    return DataLossError("missing footer: " + path_);
+  }
   return Dataset(meta_, std::move(all));
 }
 
@@ -134,14 +201,24 @@ Result<int64_t> DatasetReader::ScanAtypical(
       }
     }
   }
-  if (!saw_footer_) return DataLossError("missing footer: " + path_);
+  if (!saw_footer_ && !options_.salvage) {
+    return DataLossError("missing footer: " + path_);
+  }
   return scanned;
 }
 
 Result<Dataset> ReadDataset(const std::string& path) {
-  Result<DatasetReader> reader = DatasetReader::Open(path);
+  return ReadDataset(path, ReaderOptions{}, nullptr);
+}
+
+Result<Dataset> ReadDataset(const std::string& path,
+                            const ReaderOptions& options,
+                            SalvageReport* report) {
+  Result<DatasetReader> reader = DatasetReader::Open(path, options);
   if (!reader.ok()) return reader.status();
-  return reader->ReadAll();
+  Result<Dataset> dataset = reader->ReadAll();
+  if (report != nullptr) *report = reader->salvage_report();
+  return dataset;
 }
 
 }  // namespace storage

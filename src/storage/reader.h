@@ -3,6 +3,14 @@
 // `DatasetReader` validates the magic, header, per-block CRCs and the footer
 // and exposes the data either block-by-block (so the pre-processing scan can
 // run without materializing a month) or as a whole `Dataset`.
+//
+// By default any damage fails the read with kDataLoss.  In salvage mode
+// (`ReaderOptions{.salvage = true}`) block-level damage — a failed CRC, an
+// implausible block header, a truncated tail — skips the affected block and
+// resyncs at the next block boundary; the damage is tallied in a
+// `SalvageReport`.  Records from a block that failed its CRC are never
+// returned.  File-level damage (bad magic, bad file header) still fails
+// Open: without the header's geometry there is no boundary to resync on.
 #ifndef ATYPICAL_STORAGE_READER_H_
 #define ATYPICAL_STORAGE_READER_H_
 
@@ -19,10 +27,29 @@
 namespace atypical {
 namespace storage {
 
+struct ReaderOptions {
+  bool salvage = false;
+};
+
+// Tally of damage encountered (and survived) in salvage mode.
+struct SalvageReport {
+  uint64_t blocks_skipped = 0;
+  uint64_t records_recovered = 0;
+  // From the footer when one was read (authoritative), otherwise the sum of
+  // the skipped blocks' claimed record counts.
+  uint64_t records_lost = 0;
+  bool footer_missing = false;  // file ended without a valid footer
+
+  bool clean() const {
+    return blocks_skipped == 0 && records_lost == 0 && !footer_missing;
+  }
+};
+
 class DatasetReader {
  public:
   // Opens `path` and validates the magic and header.
-  static Result<DatasetReader> Open(const std::string& path);
+  static Result<DatasetReader> Open(const std::string& path,
+                                    const ReaderOptions& options = {});
 
   DatasetReader(DatasetReader&&) = default;
   DatasetReader& operator=(DatasetReader&&) = default;
@@ -31,7 +58,8 @@ class DatasetReader {
 
   // Reads the next block into `out` (replacing its contents).  Returns true
   // when a block was read, false at end of data.  CRC failures and
-  // truncation surface as error Status.
+  // truncation surface as error Status, or are skipped in salvage mode.
+  // A moved-from reader returns kFailedPrecondition.
   Result<bool> NextBlock(std::vector<Reading>* out);
 
   // Reads all remaining blocks and the footer into a Dataset.
@@ -43,19 +71,32 @@ class DatasetReader {
   Result<int64_t> ScanAtypical(
       const std::function<void(const AtypicalRecord&)>& fn);
 
+  // Damage tally so far; only ever non-clean() in salvage mode.
+  const SalvageReport& salvage_report() const { return salvage_; }
+
  private:
   DatasetReader() = default;
 
   std::unique_ptr<std::ifstream> file_;
   std::string path_;
   DatasetMeta meta_;
+  ReaderOptions options_;
+  SalvageReport salvage_;
+  uint32_t block_records_ = kDefaultBlockRecords;  // from the file header
   uint64_t records_read_ = 0;
   bool saw_footer_ = false;
+  bool exhausted_ = false;  // salvage hit an unrecoverable end of data
   uint64_t footer_total_ = 0;
 };
 
 // Convenience wrapper: open + ReadAll.
 Result<Dataset> ReadDataset(const std::string& path);
+
+// Same with explicit options; in salvage mode `report` (if non-null)
+// receives the damage tally alongside the dataset.
+Result<Dataset> ReadDataset(const std::string& path,
+                            const ReaderOptions& options,
+                            SalvageReport* report = nullptr);
 
 }  // namespace storage
 }  // namespace atypical

@@ -1,0 +1,104 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+size_t FaultPlan::FlipBit(std::vector<uint8_t>* bytes, size_t lo, size_t hi) {
+  if (hi == 0) hi = bytes->size();
+  CHECK_LT(lo, hi);
+  CHECK_LE(hi, bytes->size());
+  const size_t offset = lo + static_cast<size_t>(rng_.UniformInt(hi - lo));
+  (*bytes)[offset] ^= static_cast<uint8_t>(1u << rng_.UniformInt(8));
+  return offset;
+}
+
+size_t FaultPlan::TruncateTail(std::vector<uint8_t>* bytes, size_t lo) {
+  CHECK_LT(lo, bytes->size());
+  const size_t new_size =
+      lo + static_cast<size_t>(rng_.UniformInt(bytes->size() - lo));
+  bytes->resize(new_size);
+  return new_size;
+}
+
+size_t FaultPlan::DuplicateRange(std::vector<uint8_t>* bytes, size_t max_len) {
+  CHECK(!bytes->empty());
+  CHECK_GT(max_len, 0u);
+  const size_t len =
+      1 + static_cast<size_t>(
+              rng_.UniformInt(std::min(max_len, bytes->size())));
+  const size_t offset =
+      static_cast<size_t>(rng_.UniformInt(bytes->size() - len + 1));
+  const std::vector<uint8_t> range(bytes->begin() + offset,
+                                   bytes->begin() + offset + len);
+  bytes->insert(bytes->begin() + offset + len, range.begin(), range.end());
+  return offset;
+}
+
+std::vector<AtypicalRecord> FaultPlan::DropRecords(
+    std::vector<AtypicalRecord> records, double p) {
+  std::vector<AtypicalRecord> out;
+  out.reserve(records.size());
+  for (const AtypicalRecord& r : records) {
+    if (!rng_.Bernoulli(p)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AtypicalRecord> FaultPlan::DelayRecords(
+    std::vector<AtypicalRecord> records, int max_delay_windows) {
+  CHECK_GE(max_delay_windows, 0);
+  std::vector<std::pair<uint64_t, size_t>> arrival(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const uint64_t delay =
+        rng_.UniformInt(static_cast<uint64_t>(max_delay_windows) + 1);
+    arrival[i] = {static_cast<uint64_t>(records[i].window) + delay, i};
+  }
+  std::stable_sort(arrival.begin(), arrival.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<AtypicalRecord> out;
+  out.reserve(records.size());
+  for (const auto& [key, index] : arrival) out.push_back(records[index]);
+  return out;
+}
+
+std::vector<AtypicalRecord> FaultPlan::DuplicateRecords(
+    std::vector<AtypicalRecord> records, double p) {
+  std::vector<AtypicalRecord> out;
+  out.reserve(records.size());
+  for (const AtypicalRecord& r : records) {
+    out.push_back(r);
+    if (rng_.Bernoulli(p)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AtypicalRecord> FaultPlan::CorruptRecords(
+    std::vector<AtypicalRecord> records, double p, const TimeGrid& grid) {
+  for (AtypicalRecord& r : records) {
+    if (!rng_.Bernoulli(p)) continue;
+    switch (corrupt_kind_++ % 4) {
+      case 0:
+        r.sensor = kInvalidSensor;
+        break;
+      case 1:
+        r.severity_minutes = std::numeric_limits<float>::quiet_NaN();
+        break;
+      case 2:
+        r.severity_minutes = -(r.severity_minutes + 1.0f);
+        break;
+      default:
+        r.severity_minutes =
+            static_cast<float>(grid.window_minutes()) * 4.0f + 1.0f;
+        break;
+    }
+  }
+  return records;
+}
+
+}  // namespace atypical

@@ -1,0 +1,77 @@
+// Deterministic fault injection for robustness tests, benches and demos.
+//
+// A `FaultPlan` is a seeded source of reproducible corruption.  It mangles
+// byte buffers the way disks and transports do (bit flips, truncation,
+// duplicated ranges) and record streams the way real CPS feeds degrade
+// (drops, bounded delay/reorder, duplicates, corrupt fields).  The same
+// (seed, operation sequence) always yields the same faults, so tests can
+// assert exact salvage and quarantine outcomes instead of sampling.
+//
+// Consumers: the storage corruption/salvage tests (byte faults against the
+// on-disk block format), the ingest-guard tests (stream faults against
+// `RobustStreamingEventBuilder`), and `bench_robust_ingest`.
+#ifndef ATYPICAL_UTIL_FAULT_H_
+#define ATYPICAL_UTIL_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cps/record.h"
+#include "util/random.h"
+
+namespace atypical {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed) : rng_(seed) {}
+
+  // ---- Byte-buffer faults (on-disk / wire corruption) ----
+
+  // Flips one random bit of one byte in `bytes[lo, hi)` (`hi == 0` means
+  // `bytes->size()`).  Returns the byte offset touched.
+  size_t FlipBit(std::vector<uint8_t>* bytes, size_t lo = 0, size_t hi = 0);
+
+  // Truncates the buffer to a random length in [lo, size).  Returns the new
+  // size.
+  size_t TruncateTail(std::vector<uint8_t>* bytes, size_t lo = 0);
+
+  // Duplicates a random range of 1..max_len bytes in place, re-inserting the
+  // copy immediately after the original (a torn/replayed write).  Returns
+  // the offset of the duplicated range.
+  size_t DuplicateRange(std::vector<uint8_t>* bytes, size_t max_len = 64);
+
+  // ---- Record-stream faults (live-feed degradation) ----
+
+  // Drops each record independently with probability `p`.
+  std::vector<AtypicalRecord> DropRecords(std::vector<AtypicalRecord> records,
+                                          double p);
+
+  // Delays each record by a uniform 0..max_delay_windows windows and stably
+  // re-sorts by delayed arrival, i.e. permutes the stream within that
+  // lateness horizon: when a record arrives, every earlier arrival has a
+  // window at most `max_delay_windows` ahead of it.  max_delay_windows == 0
+  // is the identity on a window-sorted stream.
+  std::vector<AtypicalRecord> DelayRecords(std::vector<AtypicalRecord> records,
+                                           int max_delay_windows);
+
+  // Duplicates each record independently with probability `p`; the copy
+  // arrives immediately after the original.
+  std::vector<AtypicalRecord> DuplicateRecords(
+      std::vector<AtypicalRecord> records, double p);
+
+  // Corrupts each record independently with probability `p`, cycling
+  // deterministically through the malformation kinds the ingest guard
+  // quarantines: unknown sensor id, NaN severity, negative severity,
+  // severity exceeding the window length of `grid`.
+  std::vector<AtypicalRecord> CorruptRecords(std::vector<AtypicalRecord> records,
+                                             double p, const TimeGrid& grid);
+
+ private:
+  Rng rng_;
+  uint64_t corrupt_kind_ = 0;  // round-robin over malformation kinds
+};
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_UTIL_FAULT_H_

@@ -189,6 +189,68 @@ TEST_F(StreamingTest, EmptyStreamFlushesNothing) {
   EXPECT_EQ(builder.records_seen(), 0u);
 }
 
+TEST_F(StreamingTest, FlushEmitsOpenEventsInDeterministicClosingOrder) {
+  // Three events opened in a known order and still open at end of stream:
+  // Flush must emit them in that same (opening) order, every run.
+  std::vector<SensorId> apart;  // pairwise too far apart to relate
+  for (SensorId s = 0; s < static_cast<SensorId>(workload_->sensors->num_sensors()) &&
+                       apart.size() < 3;
+       ++s) {
+    const bool far = std::all_of(apart.begin(), apart.end(), [&](SensorId t) {
+      return workload_->sensors->Distance(s, t, params_.metric) >=
+             2 * params_.delta_d_miles;
+    });
+    if (far) apart.push_back(s);
+  }
+  ASSERT_EQ(apart.size(), 3u) << "workload too small for this test";
+
+  const WindowId w = grid_.MakeWindow(0, 30);
+  std::vector<std::multiset<std::string>> runs;
+  for (int run = 0; run < 2; ++run) {
+    std::vector<AtypicalCluster> emitted;
+    ClusterIdGenerator ids(1);
+    StreamingEventBuilder builder(
+        workload_->sensors.get(), grid_, params_, &ids,
+        [&](AtypicalCluster c) { emitted.push_back(std::move(c)); });
+    // Distinct severities identify which event is which.
+    builder.Add({apart[0], w, 1.0f, kNoEvent});
+    builder.Add({apart[1], w, 2.0f, kNoEvent});
+    builder.Add({apart[2], w, 3.0f, kNoEvent});
+    const size_t opened = builder.open_events();
+    EXPECT_EQ(opened, 3u);
+    EXPECT_EQ(builder.records_seen(), 3u);
+    builder.Flush();
+    ASSERT_EQ(emitted.size(), opened);
+    // Closing order == opening order: severities ascend.
+    for (size_t i = 1; i < emitted.size(); ++i) {
+      EXPECT_LT(emitted[i - 1].severity(), emitted[i].severity());
+    }
+    runs.push_back(Signatures(emitted));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST_F(StreamingTest, FlushAccountsForEveryRecordSeen) {
+  const std::vector<AtypicalRecord> records =
+      workload_->generator->GenerateMonthAtypical(0);
+  size_t emitted_records = 0;
+  ClusterIdGenerator ids(1);
+  StreamingEventBuilder builder(
+      workload_->sensors.get(), grid_, params_, &ids,
+      [&](AtypicalCluster c) {
+        emitted_records += static_cast<size_t>(c.num_records);
+      });
+  for (const AtypicalRecord& r : records) builder.Add(r);
+  builder.Flush();
+  EXPECT_EQ(builder.records_seen(), records.size());
+  EXPECT_EQ(emitted_records, records.size());
+  EXPECT_EQ(builder.open_events(), 0u);
+  // Flushing again is a no-op, not a re-emit.
+  builder.Flush();
+  EXPECT_EQ(emitted_records, records.size());
+  EXPECT_EQ(builder.records_seen(), records.size());
+}
+
 TEST_F(StreamingTest, DiesOnOutOfOrderRecords) {
   ClusterIdGenerator ids(1);
   StreamingEventBuilder builder(workload_->sensors.get(), grid_, params_,

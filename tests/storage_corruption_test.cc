@@ -8,6 +8,7 @@
 #include "gen/workload.h"
 #include "storage/reader.h"
 #include "storage/writer.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace atypical {
@@ -102,6 +103,47 @@ TEST_F(StorageCorruptionTest, EmptyFileRejected) {
 TEST_F(StorageCorruptionTest, MissingFileIsIoError) {
   EXPECT_EQ(ReadDataset("/no/such/file.atyp").status().code(),
             StatusCode::kIoError);
+}
+
+TEST_F(StorageCorruptionTest, SeededBitFlipsAlwaysSurfaceAsDataLoss) {
+  // Deterministic fault sweep: any single bit flip in the payload region
+  // must fail the strict read with kDataLoss, for every seed.
+  const size_t payload_lo = 8 + 28 + 8;
+  const size_t payload_hi = payload_lo + 1000 * 28;  // first 1000-record block
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultPlan plan(seed);
+    std::vector<char> bytes = bytes_;
+    std::vector<uint8_t> mutated(bytes.begin(), bytes.end());
+    plan.FlipBit(&mutated, payload_lo, payload_hi);
+    bytes_.assign(mutated.begin(), mutated.end());
+    EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss) << "seed " << seed;
+    bytes_ = bytes;  // restore for the next seed
+  }
+}
+
+TEST_F(StorageCorruptionTest, SeededTruncationAlwaysSurfacesAsDataLoss) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    FaultPlan plan(seed);
+    const std::vector<char> original = bytes_;
+    std::vector<uint8_t> mutated(bytes_.begin(), bytes_.end());
+    plan.TruncateTail(&mutated, 8 + 28);  // keep magic + header
+    bytes_.assign(mutated.begin(), mutated.end());
+    EXPECT_EQ(ReadBackStatus().code(), StatusCode::kDataLoss) << "seed " << seed;
+    bytes_ = original;
+  }
+}
+
+TEST_F(StorageCorruptionTest, ImplausibleBlockRecordCountRejected) {
+  // record_count far above the header's block_records must not be trusted
+  // (it would otherwise drive a multi-gigabyte allocation).
+  bytes_[8 + 28] = static_cast<char>(0xff);
+  bytes_[8 + 28 + 1] = static_cast<char>(0xff);
+  bytes_[8 + 28 + 2] = static_cast<char>(0xff);
+  bytes_[8 + 28 + 3] = static_cast<char>(0x7f);
+  const Status s = ReadBackStatus();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("implausible block record count"),
+            std::string::npos);
 }
 
 TEST_F(StorageCorruptionTest, ScanAtypicalAlsoDetectsCorruption) {

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -102,6 +103,69 @@ TEST_F(StorageRoundTripTest, EmptyDatasetRoundTrips) {
   const Result<Dataset> back = ReadDataset(path_);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->num_readings(), 0);
+}
+
+TEST_F(StorageRoundTripTest, ZeroRecordDatasetStreamsNoBlocks) {
+  const Dataset empty(dataset_.meta(), {});
+  ASSERT_TRUE(WriteDataset(empty, path_).ok());
+  Result<DatasetReader> reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<Reading> block;
+  const Result<bool> more = reader->NextBlock(&block);
+  ASSERT_TRUE(more.ok()) << more.status().ToString();
+  EXPECT_FALSE(*more);  // straight to the footer
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(reader->meta().num_sensors, dataset_.meta().num_sensors);
+}
+
+TEST_F(StorageRoundTripTest, DatasetSmallerThanOneBlockRoundTrips) {
+  // 7 readings against the default 65536-record blocks: one partial block.
+  const std::vector<Reading>& all = dataset_.readings();
+  ASSERT_GE(all.size(), 7u);
+  const Dataset small(dataset_.meta(),
+                      std::vector<Reading>(all.begin(), all.begin() + 7));
+  ASSERT_TRUE(WriteDataset(small, path_).ok());
+
+  Result<DatasetReader> reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<Reading> block;
+  Result<bool> more = reader->NextBlock(&block);
+  ASSERT_TRUE(more.ok()) << more.status().ToString();
+  EXPECT_TRUE(*more);
+  ASSERT_EQ(block.size(), 7u);
+  for (size_t i = 0; i < block.size(); ++i) {
+    EXPECT_EQ(block[i].sensor, all[i].sensor) << i;
+    EXPECT_EQ(block[i].window, all[i].window) << i;
+    EXPECT_EQ(block[i].atypical_minutes, all[i].atypical_minutes) << i;
+  }
+  more = reader->NextBlock(&block);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);  // exactly one block before the footer
+}
+
+TEST_F(StorageRoundTripTest, MovedFromReaderFailsCleanly) {
+  ASSERT_TRUE(WriteDataset(dataset_, path_).ok());
+  Result<DatasetReader> opened = DatasetReader::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  DatasetReader moved_to = std::move(*opened);
+
+  // The moved-from reader must refuse with a status, not crash.
+  std::vector<Reading> block;
+  const Result<bool> more = opened->NextBlock(&block);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kFailedPrecondition);
+  const Result<Dataset> all = opened->ReadAll();
+  ASSERT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), StatusCode::kFailedPrecondition);
+  const Result<int64_t> scanned =
+      opened->ScanAtypical([](const AtypicalRecord&) {});
+  ASSERT_FALSE(scanned.ok());
+  EXPECT_EQ(scanned.status().code(), StatusCode::kFailedPrecondition);
+
+  // The moved-to reader still works.
+  const Result<Dataset> back = moved_to.ReadAll();
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_readings(), dataset_.num_readings());
 }
 
 TEST_F(StorageRoundTripTest, RejectsZeroBlockRecords) {

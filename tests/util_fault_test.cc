@@ -1,0 +1,195 @@
+// FaultPlan must be deterministic per seed and produce exactly the
+// advertised damage, so robustness tests can assert exact outcomes.
+#include "util/fault.h"
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace atypical {
+namespace {
+
+std::vector<uint8_t> MakeBytes(size_t n) {
+  std::vector<uint8_t> bytes(n);
+  for (size_t i = 0; i < n; ++i) bytes[i] = static_cast<uint8_t>(i * 37 + 11);
+  return bytes;
+}
+
+std::vector<AtypicalRecord> MakeStream(int n, int window_stride = 1) {
+  std::vector<AtypicalRecord> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back({static_cast<SensorId>(i % 7),
+                       static_cast<WindowId>(100 + (i / 7) * window_stride),
+                       2.5f, kNoEvent});
+  }
+  return records;
+}
+
+TEST(FaultPlanTest, SameSeedSameFaults) {
+  for (const uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    FaultPlan a(seed);
+    FaultPlan b(seed);
+    std::vector<uint8_t> bytes_a = MakeBytes(4096);
+    std::vector<uint8_t> bytes_b = bytes_a;
+    EXPECT_EQ(a.FlipBit(&bytes_a), b.FlipBit(&bytes_b));
+    EXPECT_EQ(bytes_a, bytes_b);
+    EXPECT_EQ(a.DuplicateRange(&bytes_a), b.DuplicateRange(&bytes_b));
+    EXPECT_EQ(bytes_a, bytes_b);
+    EXPECT_EQ(a.TruncateTail(&bytes_a), b.TruncateTail(&bytes_b));
+    EXPECT_EQ(bytes_a, bytes_b);
+
+    const std::vector<AtypicalRecord> stream = MakeStream(200);
+    EXPECT_EQ(a.DelayRecords(stream, 3), b.DelayRecords(stream, 3));
+    EXPECT_EQ(a.DropRecords(stream, 0.3), b.DropRecords(stream, 0.3));
+    EXPECT_EQ(a.DuplicateRecords(stream, 0.3),
+              b.DuplicateRecords(stream, 0.3));
+  }
+}
+
+TEST(FaultPlanTest, FlipBitChangesExactlyOneBitInRange) {
+  FaultPlan plan(7);
+  const std::vector<uint8_t> original = MakeBytes(1024);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> bytes = original;
+    const size_t offset = plan.FlipBit(&bytes, 100, 200);
+    ASSERT_GE(offset, 100u);
+    ASSERT_LT(offset, 200u);
+    int differing_bits = 0;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      differing_bits += __builtin_popcount(bytes[i] ^ original[i]);
+      if (bytes[i] != original[i]) EXPECT_EQ(i, offset);
+    }
+    EXPECT_EQ(differing_bits, 1);
+  }
+}
+
+TEST(FaultPlanTest, TruncateTailShrinksWithinBounds) {
+  FaultPlan plan(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint8_t> bytes = MakeBytes(512);
+    const size_t new_size = plan.TruncateTail(&bytes, 64);
+    EXPECT_EQ(bytes.size(), new_size);
+    EXPECT_GE(new_size, 64u);
+    EXPECT_LT(new_size, 512u);
+  }
+}
+
+TEST(FaultPlanTest, DuplicateRangeInsertsAdjacentCopy) {
+  FaultPlan plan(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<uint8_t> original = MakeBytes(512);
+    std::vector<uint8_t> bytes = original;
+    const size_t offset = plan.DuplicateRange(&bytes, 32);
+    const size_t len = bytes.size() - original.size();
+    ASSERT_GE(len, 1u);
+    ASSERT_LE(len, 32u);
+    // Prefix unchanged, range duplicated, suffix shifted.
+    for (size_t i = 0; i < offset + len; ++i) EXPECT_EQ(bytes[i], original[i]);
+    for (size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(bytes[offset + len + i], original[offset + i]);
+    }
+    for (size_t i = offset + len; i < original.size(); ++i) {
+      EXPECT_EQ(bytes[i + len], original[i]);
+    }
+  }
+}
+
+TEST(FaultPlanTest, DropRecordsPreservesOrderAndBounds) {
+  FaultPlan plan(13);
+  const std::vector<AtypicalRecord> stream = MakeStream(500);
+  EXPECT_EQ(plan.DropRecords(stream, 0.0), stream);
+  EXPECT_TRUE(plan.DropRecords(stream, 1.0).empty());
+  const std::vector<AtypicalRecord> kept = plan.DropRecords(stream, 0.4);
+  EXPECT_LT(kept.size(), stream.size());
+  EXPECT_GT(kept.size(), 0u);
+  // Kept records appear in their original relative order.
+  size_t cursor = 0;
+  for (const AtypicalRecord& r : kept) {
+    while (cursor < stream.size() && !(stream[cursor] == r)) ++cursor;
+    ASSERT_LT(cursor, stream.size());
+    ++cursor;
+  }
+}
+
+TEST(FaultPlanTest, DelayRecordsPermutesWithinHorizon) {
+  FaultPlan plan(17);
+  const std::vector<AtypicalRecord> stream = MakeStream(600);
+  const int horizon = 5;
+  const std::vector<AtypicalRecord> delayed = plan.DelayRecords(stream, horizon);
+  ASSERT_EQ(delayed.size(), stream.size());
+
+  // Same multiset of records.
+  auto key = [](const AtypicalRecord& r) {
+    return std::make_pair(r.window, r.sensor);
+  };
+  std::multimap<std::pair<WindowId, SensorId>, float> expected;
+  for (const AtypicalRecord& r : stream) {
+    expected.emplace(key(r), r.severity_minutes);
+  }
+  for (const AtypicalRecord& r : delayed) {
+    auto it = expected.find(key(r));
+    ASSERT_NE(it, expected.end());
+    expected.erase(it);
+  }
+  EXPECT_TRUE(expected.empty());
+
+  // Bounded displacement: no earlier arrival is more than `horizon` windows
+  // ahead of any later one.
+  WindowId watermark = 0;
+  bool some_out_of_order = false;
+  for (const AtypicalRecord& r : delayed) {
+    if (watermark > r.window) {
+      some_out_of_order = true;
+      EXPECT_LE(watermark - r.window, static_cast<WindowId>(horizon));
+    }
+    watermark = std::max(watermark, r.window);
+  }
+  EXPECT_TRUE(some_out_of_order);  // a 600-record stream should shuffle
+
+  // Zero delay is the identity on a sorted stream.
+  EXPECT_EQ(plan.DelayRecords(stream, 0), stream);
+}
+
+TEST(FaultPlanTest, DuplicateRecordsInsertsAdjacentCopies) {
+  FaultPlan plan(19);
+  const std::vector<AtypicalRecord> stream = MakeStream(100);
+  const std::vector<AtypicalRecord> doubled = plan.DuplicateRecords(stream, 1.0);
+  ASSERT_EQ(doubled.size(), 2 * stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(doubled[2 * i], stream[i]);
+    EXPECT_EQ(doubled[2 * i + 1], stream[i]);
+  }
+  EXPECT_EQ(plan.DuplicateRecords(stream, 0.0), stream);
+}
+
+TEST(FaultPlanTest, CorruptRecordsCyclesAllMalformationKinds) {
+  FaultPlan plan(23);
+  const TimeGrid grid(5);
+  const std::vector<AtypicalRecord> stream = MakeStream(40);
+  const std::vector<AtypicalRecord> corrupted =
+      plan.CorruptRecords(stream, 1.0, grid);
+  ASSERT_EQ(corrupted.size(), stream.size());
+  int unknown_sensor = 0, nan_severity = 0, negative = 0, excess = 0;
+  for (const AtypicalRecord& r : corrupted) {
+    if (r.sensor == kInvalidSensor) {
+      ++unknown_sensor;
+    } else if (std::isnan(r.severity_minutes)) {
+      ++nan_severity;
+    } else if (r.severity_minutes < 0.0f) {
+      ++negative;
+    } else if (r.severity_minutes > grid.window_minutes()) {
+      ++excess;
+    }
+  }
+  // Every record corrupted, round-robin over the four kinds.
+  EXPECT_EQ(unknown_sensor, 10);
+  EXPECT_EQ(nan_severity, 10);
+  EXPECT_EQ(negative, 10);
+  EXPECT_EQ(excess, 10);
+  EXPECT_EQ(plan.CorruptRecords(stream, 0.0, grid), stream);
+}
+
+}  // namespace
+}  // namespace atypical
