@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""IWYU-lite: every header under src/ must compile in isolation.
+
+For each src/**/*.h this generates a one-line translation unit that includes
+only that header and syntax-checks it with the project's include root and
+language standard.  A header that passes can be included first from any
+file, so include-order coupling cannot creep in.
+
+Usage: scripts/check_includes.py [--compiler g++] [--jobs N]
+Exit status: 0 if every header is self-contained, 1 otherwise.
+"""
+
+import argparse
+import concurrent.futures
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def check_header(compiler: str, header: pathlib.Path) -> tuple[pathlib.Path, str]:
+    rel = header.relative_to(SRC).as_posix()
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".cc", prefix="hdr_check_", delete=False
+    ) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [
+                compiler,
+                "-std=c++20",
+                "-fsyntax-only",
+                "-Wall",
+                "-Wextra",
+                f"-I{SRC}",
+                "-x",
+                "c++",
+                tu_path,
+            ],
+            capture_output=True,
+            text=True,
+        )
+        return header, "" if proc.returncode == 0 else proc.stderr
+    finally:
+        pathlib.Path(tu_path).unlink(missing_ok=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", default="g++")
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    if shutil.which(args.compiler) is None:
+        print(f"error: compiler '{args.compiler}' not found", file=sys.stderr)
+        return 1
+
+    headers = sorted(SRC.rglob("*.h"))
+    if not headers:
+        print("error: no headers found under src/", file=sys.stderr)
+        return 1
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for header, err in pool.map(
+            lambda h: check_header(args.compiler, h), headers
+        ):
+            rel = header.relative_to(REPO)
+            if err:
+                failures.append((rel, err))
+                print(f"FAIL {rel}")
+            else:
+                print(f"ok   {rel}")
+
+    if failures:
+        print(f"\n{len(failures)} of {len(headers)} headers are not "
+              "self-contained:\n", file=sys.stderr)
+        for rel, err in failures:
+            print(f"--- {rel}\n{err}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(headers)} headers are self-contained")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

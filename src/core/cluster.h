@@ -54,6 +54,12 @@ class FeatureVector {
   // Sorted, duplicate-free entries.
   const std::vector<Entry>& entries() const;
 
+  // Forces the lazy sort/dedup now.  Reads are conceptually const but may
+  // compact mutable state, so a FeatureVector must be compacted (and no
+  // longer written) before it is shared across threads; after this call all
+  // const accessors are physically read-only until the next Add().
+  void EnsureCompact() const { Compact(); }
+
   // Severity mass shared with `other`: (Σ_{common keys} this.severity,
   // Σ_{common keys} other.severity).  The numerators of Eq. 3 / Eq. 4.
   std::pair<double, double> CommonSeverity(const FeatureVector& other) const;

@@ -104,6 +104,8 @@ QuarantineCause RobustStreamingEventBuilder::Add(const AtypicalRecord& record) {
         << " window=" << record.window
         << " severity=" << record.severity_minutes;
     Quarantine(record, cause);
+    DCHECK(stats_.Reconciles())
+        << "quarantine left records_in != accepted + quarantined";
     return cause;
   }
 
@@ -122,6 +124,8 @@ QuarantineCause RobustStreamingEventBuilder::Add(const AtypicalRecord& record) {
     Forward(record);
   }
   ReleaseAndPrune();
+  DCHECK(stats_.Reconciles())
+      << "accept left records_in != accepted + quarantined";
   return QuarantineCause::kNone;
 }
 

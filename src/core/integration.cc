@@ -1,71 +1,15 @@
 #include "core/integration.h"
 
-#include <algorithm>
 #include <memory>
-#include <unordered_map>
 
+#include "core/integration_internal.h"
 #include "core/merge.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace atypical {
 
-namespace {
-
-// Inverted index from feature keys to cluster slots, with lazy deletion
-// (dead slots are filtered by the caller's alive[] check).  Spatial and
-// temporal key spaces are disambiguated by a domain tag in the high bits.
-class CandidateIndex {
- public:
-  explicit CandidateIndex(size_t num_slots) : last_seen_(num_slots, 0) {}
-
-  void AddKeys(const AtypicalCluster& cluster, uint32_t slot) {
-    for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
-      postings_[SpatialKey(e.key)].push_back(slot);
-    }
-    for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
-      postings_[TemporalKey(e.key)].push_back(slot);
-    }
-  }
-
-  // Collects slots sharing at least one key with `cluster`, excluding
-  // `self`, sorted ascending and deduplicated.
-  void Candidates(const AtypicalCluster& cluster, uint32_t self,
-                  const std::vector<bool>& alive,
-                  std::vector<uint32_t>* out) {
-    out->clear();
-    ++scan_id_;
-    auto visit = [&](uint64_t key) {
-      const auto it = postings_.find(key);
-      if (it == postings_.end()) return;
-      for (uint32_t slot : it->second) {
-        if (slot == self || !alive[slot]) continue;
-        if (last_seen_[slot] == scan_id_) continue;
-        last_seen_[slot] = scan_id_;
-        out->push_back(slot);
-      }
-    };
-    for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
-      visit(SpatialKey(e.key));
-    }
-    for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
-      visit(TemporalKey(e.key));
-    }
-    std::sort(out->begin(), out->end());
-  }
-
- private:
-  static uint64_t SpatialKey(uint32_t key) { return key; }
-  static uint64_t TemporalKey(uint32_t key) {
-    return (1ULL << 32) | key;
-  }
-
-  std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
-  std::vector<uint64_t> last_seen_;
-  uint64_t scan_id_ = 0;
-};
-
-}  // namespace
+using integration_internal::CandidateIndex;
 
 std::vector<AtypicalCluster> IntegrateClusters(
     std::vector<AtypicalCluster> clusters, const IntegrationParams& params,

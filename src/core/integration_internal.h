@@ -1,0 +1,78 @@
+// Shared internals of Algorithm 3's serial and parallel drivers.
+//
+// The inverted candidate index restricts pairwise similarity checks to
+// cluster pairs sharing at least one spatial or temporal key — disjoint
+// pairs have similarity 0 and can never exceed δsim > 0, so pruning them
+// keeps the result bit-identical to the naive quadratic scan (tested).
+#ifndef ATYPICAL_CORE_INTEGRATION_INTERNAL_H_
+#define ATYPICAL_CORE_INTEGRATION_INTERNAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace atypical {
+namespace integration_internal {
+
+// Inverted index from feature keys to cluster slots, with lazy deletion
+// (dead slots are filtered by the caller's alive[] check).  Spatial and
+// temporal key spaces are disambiguated by a domain tag in the high bits.
+// Not thread-safe; the parallel driver only queries it from the
+// coordinating thread.
+class CandidateIndex {
+ public:
+  explicit CandidateIndex(size_t num_slots) : last_seen_(num_slots, 0) {}
+
+  void AddKeys(const AtypicalCluster& cluster, uint32_t slot) {
+    for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
+      postings_[SpatialKey(e.key)].push_back(slot);
+    }
+    for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
+      postings_[TemporalKey(e.key)].push_back(slot);
+    }
+  }
+
+  // Collects slots sharing at least one key with `cluster`, excluding
+  // `self`, sorted ascending and deduplicated.
+  void Candidates(const AtypicalCluster& cluster, uint32_t self,
+                  const std::vector<bool>& alive,
+                  std::vector<uint32_t>* out) {
+    out->clear();
+    ++scan_id_;
+    auto visit = [&](uint64_t key) {
+      const auto it = postings_.find(key);
+      if (it == postings_.end()) return;
+      for (uint32_t slot : it->second) {
+        if (slot == self || !alive[slot]) continue;
+        if (last_seen_[slot] == scan_id_) continue;
+        last_seen_[slot] = scan_id_;
+        out->push_back(slot);
+      }
+    };
+    for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
+      visit(SpatialKey(e.key));
+    }
+    for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
+      visit(TemporalKey(e.key));
+    }
+    std::sort(out->begin(), out->end());
+  }
+
+ private:
+  static uint64_t SpatialKey(uint32_t key) { return key; }
+  static uint64_t TemporalKey(uint32_t key) {
+    return (1ULL << 32) | key;
+  }
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
+  std::vector<uint64_t> last_seen_;
+  uint64_t scan_id_ = 0;
+};
+
+}  // namespace integration_internal
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_INTEGRATION_INTERNAL_H_

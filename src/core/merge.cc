@@ -1,6 +1,7 @@
 #include "core/merge.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -33,6 +34,33 @@ AtypicalCluster MergeClusters(const AtypicalCluster& a,
   out.dominant_true_event = a.severity() >= b.severity()
                                 ? a.dominant_true_event
                                 : b.dominant_true_event;
+
+#if ATYPICAL_DCHECK_IS_ON
+  // Debug invariants (Property 2/3 are what make concurrent merging safe,
+  // so the debug build re-derives them on live data).  Severity mass is
+  // conserved and stays non-negative, and SF/TF keep distributing the same
+  // total (Def. 4's Σμ == Σν, up to FP accumulation-order error).
+  const double mass = a.severity() + b.severity();
+  DCHECK_GE(out.spatial.total(), 0.0);
+  DCHECK_GE(out.temporal.total(), 0.0);
+  DCHECK_LE(std::abs(out.severity() - mass), 1e-9 * std::max(1.0, mass));
+  if (std::abs(a.spatial.total() - a.temporal.total()) <=
+          1e-9 * std::max(1.0, a.severity()) &&
+      std::abs(b.spatial.total() - b.temporal.total()) <=
+          1e-9 * std::max(1.0, b.severity())) {
+    DCHECK_LE(std::abs(out.spatial.total() - out.temporal.total()),
+              1e-6 * std::max(1.0, mass))
+        << "merge broke the Σμ == Σν severity-distribution invariant";
+  }
+  // Commutativity spot-check (~1/64 merges): per-key double addition of two
+  // terms is exactly commutative, so the swapped merge must be bit-identical.
+  if (((a.id ^ b.id) & 63) == 0) {
+    DCHECK(FeatureVector::Merge(b.spatial, a.spatial) == out.spatial)
+        << "spatial feature merge is not commutative";
+    DCHECK(FeatureVector::Merge(b.temporal, a.temporal) == out.temporal)
+        << "temporal feature merge is not commutative";
+  }
+#endif
   return out;
 }
 

@@ -1,0 +1,267 @@
+#include "core/parallel_integration.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "core/integration_internal.h"
+#include "core/merge.h"
+#include "core/similarity.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/sync.h"
+
+namespace atypical {
+
+namespace {
+
+using integration_internal::CandidateIndex;
+
+constexpr size_t kNoMatch = std::numeric_limits<size_t>::max();
+
+struct ShardResult {
+  size_t first_match = kNoMatch;  // position in the candidate list
+  size_t checks = 0;
+};
+
+// Scans positions [w·n/T, (w+1)·n/T) of `candidates` and returns the first
+// position whose cluster clears `delta`, stopping there.  Shards are
+// contiguous ranges of the ascending candidate list, so the minimum over
+// shard results is the globally first match — the serial driver's choice.
+ShardResult ScanShard(const std::vector<AtypicalCluster>& clusters,
+                      const std::vector<uint32_t>& candidates,
+                      const AtypicalCluster& pivot, BalanceFunction g,
+                      double delta, int shard, int num_shards) {
+  const size_t n = candidates.size();
+  const size_t begin = n * static_cast<size_t>(shard) /
+                       static_cast<size_t>(num_shards);
+  const size_t end = n * (static_cast<size_t>(shard) + 1) /
+                     static_cast<size_t>(num_shards);
+  ShardResult result;
+  for (size_t pos = begin; pos < end; ++pos) {
+    ++result.checks;
+    if (Similarity(pivot, clusters[candidates[pos]], g) > delta) {
+      result.first_match = pos;
+      break;
+    }
+  }
+  return result;
+}
+
+// A persistent pool of scan workers coordinated through the annotated
+// primitives.  The coordinator publishes one scan at a time (a generation);
+// workers pull the inputs under the lock, scan their shard outside it (the
+// coordinator blocks until every shard reports, so the shared cluster data
+// is immutable for the scan's duration), and report back under the lock.
+class ScanPool {
+ public:
+  explicit ScanPool(int num_workers) : results_(num_workers) {
+    CHECK_GT(num_workers, 0);
+    workers_.reserve(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ScanPool() {
+    {
+      MutexLock lock(&mu_);
+      shutdown_ = true;
+    }
+    work_cv_.SignalAll();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ScanPool(const ScanPool&) = delete;
+  ScanPool& operator=(const ScanPool&) = delete;
+
+  // Returns the position in `candidates` of the first candidate whose
+  // similarity to `pivot` exceeds `delta`, or kNoMatch.  Accumulates the
+  // number of similarity evaluations into *checks.
+  size_t FindFirstMatch(const std::vector<AtypicalCluster>& clusters,
+                        const std::vector<uint32_t>& candidates,
+                        const AtypicalCluster& pivot, BalanceFunction g,
+                        double delta, size_t* checks) {
+    {
+      MutexLock lock(&mu_);
+      DCHECK_EQ(pending_, 0) << "scan started while one is in flight";
+      clusters_ = &clusters;
+      candidates_ = &candidates;
+      pivot_ = &pivot;
+      g_ = g;
+      delta_ = delta;
+      pending_ = static_cast<int>(workers_.size());
+      ++generation_;
+    }
+    work_cv_.SignalAll();
+
+    size_t best = kNoMatch;
+    MutexLock lock(&mu_);
+    while (pending_ > 0) done_cv_.Wait(&mu_);
+    for (const ShardResult& r : results_) {
+      best = std::min(best, r.first_match);
+      *checks += r.checks;
+    }
+    return best;
+  }
+
+ private:
+  void WorkerLoop(int worker) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::vector<AtypicalCluster>* clusters = nullptr;
+      const std::vector<uint32_t>* candidates = nullptr;
+      const AtypicalCluster* pivot = nullptr;
+      BalanceFunction g;
+      double delta;
+      {
+        MutexLock lock(&mu_);
+        while (!shutdown_ && generation_ == seen) work_cv_.Wait(&mu_);
+        if (shutdown_) return;
+        seen = generation_;
+        clusters = clusters_;
+        candidates = candidates_;
+        pivot = pivot_;
+        g = g_;
+        delta = delta_;
+      }
+      const ShardResult result =
+          ScanShard(*clusters, *candidates, *pivot, g, delta, worker,
+                    static_cast<int>(workers_.size()));
+      {
+        MutexLock lock(&mu_);
+        results_[static_cast<size_t>(worker)] = result;
+        if (--pending_ == 0) done_cv_.Signal();
+      }
+    }
+  }
+
+  Mutex mu_;
+  CondVar work_cv_;   // coordinator -> workers: new generation or shutdown
+  CondVar done_cv_;   // workers -> coordinator: last shard reported
+  bool shutdown_ ATYPICAL_GUARDED_BY(mu_) = false;
+  uint64_t generation_ ATYPICAL_GUARDED_BY(mu_) = 0;
+  int pending_ ATYPICAL_GUARDED_BY(mu_) = 0;
+  // Inputs of the in-flight scan; the pointees are owned by the coordinator
+  // and immutable until every worker reports.
+  const std::vector<AtypicalCluster>* clusters_ ATYPICAL_GUARDED_BY(mu_) =
+      nullptr;
+  const std::vector<uint32_t>* candidates_ ATYPICAL_GUARDED_BY(mu_) = nullptr;
+  const AtypicalCluster* pivot_ ATYPICAL_GUARDED_BY(mu_) = nullptr;
+  BalanceFunction g_ ATYPICAL_GUARDED_BY(mu_) =
+      BalanceFunction::kArithmeticMean;
+  double delta_ ATYPICAL_GUARDED_BY(mu_) = 0.0;
+  std::vector<ShardResult> results_ ATYPICAL_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+std::vector<AtypicalCluster> ParallelIntegrateClusters(
+    std::vector<AtypicalCluster> clusters,
+    const ParallelIntegrationParams& params, ClusterIdGenerator* ids,
+    IntegrationStats* stats) {
+  CHECK_GT(params.num_threads, 0);
+  if (params.num_threads == 1) {
+    return IntegrateClusters(std::move(clusters), params.base, ids, stats);
+  }
+  CHECK_GT(params.base.delta_sim, 0.0)
+      << "δsim must be positive (disjoint clusters have similarity 0)";
+  CHECK(ids != nullptr);
+  Stopwatch timer;
+
+  const size_t n = clusters.size();
+  for (size_t i = 1; i < n; ++i) {
+    CHECK(clusters[i].key_mode == clusters[0].key_mode)
+        << "all inputs must share one temporal key mode";
+  }
+  // Lazy compaction mutates under const; force it now so the workers'
+  // concurrent reads are physically read-only.  Merged clusters are built
+  // compact, so this holds for the whole run.
+  for (const AtypicalCluster& c : clusters) {
+    c.spatial.EnsureCompact();
+    c.temporal.EnsureCompact();
+  }
+
+  std::vector<bool> alive(n, true);
+  size_t similarity_checks = 0;
+  size_t merges = 0;
+
+  std::unique_ptr<CandidateIndex> index;
+  if (params.base.use_candidate_index) {
+    index = std::make_unique<CandidateIndex>(n);
+    for (size_t i = 0; i < n; ++i) {
+      index->AddKeys(clusters[i], static_cast<uint32_t>(i));
+    }
+  }
+
+  ScanPool pool(params.num_threads);
+
+  // The serial driver's greedy absorb loop (see integration.cc), with the
+  // candidate scan farmed to the pool.  Any divergence between the two
+  // loops is caught by the bit-identity tests in
+  // core_parallel_integration_test.cc.
+  std::vector<uint32_t> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    bool merged_any = true;
+    while (merged_any) {
+      merged_any = false;
+      if (index != nullptr) {
+        index->Candidates(clusters[i], static_cast<uint32_t>(i), alive,
+                          &candidates);
+      } else {
+        candidates.clear();
+        for (size_t j = 0; j < n; ++j) {
+          if (j != i && alive[j]) candidates.push_back(static_cast<uint32_t>(j));
+        }
+      }
+
+      size_t match_pos;
+      if (candidates.size() < params.min_shard_candidates) {
+        const ShardResult inline_scan =
+            ScanShard(clusters, candidates, clusters[i], params.base.g,
+                      params.base.delta_sim, /*shard=*/0, /*num_shards=*/1);
+        match_pos = inline_scan.first_match;
+        similarity_checks += inline_scan.checks;
+      } else {
+        match_pos = pool.FindFirstMatch(clusters, candidates, clusters[i],
+                                        params.base.g, params.base.delta_sim,
+                                        &similarity_checks);
+      }
+
+      if (match_pos != kNoMatch) {
+        const uint32_t j = candidates[match_pos];
+        // Grow the cluster's key set; only j's keys can be new, and the
+        // postings for i's existing keys remain valid for the merged
+        // cluster, so index j's keys under slot i.
+        AtypicalCluster merged = MergeClusters(clusters[i], clusters[j], ids);
+        if (index != nullptr) {
+          index->AddKeys(clusters[j], static_cast<uint32_t>(i));
+        }
+        clusters[i] = std::move(merged);
+        alive[j] = false;
+        ++merges;
+        merged_any = true;  // re-gather candidates for the grown cluster
+      }
+    }
+  }
+
+  std::vector<AtypicalCluster> out;
+  out.reserve(n - merges);
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) out.push_back(std::move(clusters[i]));
+  }
+
+  if (stats != nullptr) {
+    stats->input_clusters = n;
+    stats->output_clusters = out.size();
+    stats->similarity_checks = similarity_checks;
+    stats->merges = merges;
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace atypical

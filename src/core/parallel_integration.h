@@ -1,0 +1,55 @@
+// Parallel Algorithm 3: sharded cluster integration on a worker pool.
+//
+// The serial driver (core/integration.h) spends nearly all of its time in
+// the candidate similarity scans of the greedy fixpoint loop; the merges
+// themselves are rare and linear (Proposition 2).  This driver keeps the
+// serial loop's decisions — it shards each candidate scan across a small
+// worker pool and picks the lowest-numbered qualifying candidate, exactly
+// the cluster the serial scan would have chosen — so the output is
+// bit-identical to IntegrateClusters on any input (tested), while the
+// dominant O(n²) similarity work divides across threads.
+//
+// What makes the concurrency safe:
+//   * merge commutativity/associativity (Property 3) means feature reads
+//     during a scan never depend on scan order, and all writes (merges)
+//     stay on the coordinating thread;
+//   * FeatureVectors are force-compacted before workers share them, because
+//     lazy compaction mutates under const (see FeatureVector::EnsureCompact);
+//   * all worker/coordinator handoff state lives behind the annotated
+//     Mutex/CondVar in util/sync.h, checked by Clang `-Wthread-safety` and
+//     exercised under `-DATYPICAL_TSAN=ON` in CI.
+//
+// IntegrationStats::similarity_checks may differ from the serial driver's
+// count: a worker stops at the first hit in its own shard, so shards past
+// the globally chosen candidate may or may not have been scanned.  Every
+// other field matches the serial run.
+#ifndef ATYPICAL_CORE_PARALLEL_INTEGRATION_H_
+#define ATYPICAL_CORE_PARALLEL_INTEGRATION_H_
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/integration.h"
+
+namespace atypical {
+
+struct ParallelIntegrationParams {
+  IntegrationParams base;
+  // Pool size.  1 falls back to the serial driver (still bit-identical).
+  int num_threads = 4;
+  // Candidate lists shorter than this are scanned inline by the
+  // coordinator; the handoff latency would exceed the scan cost.
+  size_t min_shard_candidates = 16;
+};
+
+// Drop-in parallel replacement for IntegrateClusters; same contract, same
+// output, bit for bit (including cluster ids — the coordinator performs the
+// merges in the serial order, so `ids` is consumed identically).
+std::vector<AtypicalCluster> ParallelIntegrateClusters(
+    std::vector<AtypicalCluster> clusters,
+    const ParallelIntegrationParams& params, ClusterIdGenerator* ids,
+    IntegrationStats* stats = nullptr);
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_CORE_PARALLEL_INTEGRATION_H_

@@ -46,7 +46,16 @@ double FeatureSimilarity(const FeatureVector& f1, const FeatureVector& f2,
                          BalanceFunction g) {
   if (f1.total() <= 0.0 || f2.total() <= 0.0) return 0.0;
   const auto [common1, common2] = f1.CommonSeverity(f2);
-  return Balance(g, common1 / f1.total(), common2 / f2.total());
+  const double p1 = common1 / f1.total();
+  const double p2 = common2 / f2.total();
+  // Common severity is a sub-sum of the total, so both fractions live in
+  // [0, 1] up to FP accumulation-order error (total_ sums in Add order,
+  // CommonSeverity in key order).
+  DCHECK_GE(p1, 0.0);
+  DCHECK_LE(p1, 1.0 + 1e-9);
+  DCHECK_GE(p2, 0.0);
+  DCHECK_LE(p2, 1.0 + 1e-9);
+  return Balance(g, p1, p2);
 }
 
 }  // namespace
@@ -65,7 +74,11 @@ double TemporalSimilarity(const AtypicalCluster& c1, const AtypicalCluster& c2,
 
 double Similarity(const AtypicalCluster& c1, const AtypicalCluster& c2,
                   BalanceFunction g) {
-  return 0.5 * (SpatialSimilarity(c1, c2, g) + TemporalSimilarity(c1, c2, g));
+  const double sim =
+      0.5 * (SpatialSimilarity(c1, c2, g) + TemporalSimilarity(c1, c2, g));
+  DCHECK_GE(sim, 0.0);
+  DCHECK_LE(sim, 1.0 + 1e-9) << "Eq. 2 is a mean of fractions";
+  return sim;
 }
 
 }  // namespace atypical

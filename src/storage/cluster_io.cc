@@ -175,11 +175,15 @@ Result<uint64_t> WriteClusterGroups(const std::vector<ClusterGroup>& groups,
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return IoError("cannot open for writing: " + path);
   file.write(kClusterMagic, sizeof(kClusterMagic));
+  // Safe casts: iostreams write from const char*, the encoder produced
+  // uint8_t bytes; byte-type punning is the aliasing-exempt case.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   file.write(reinterpret_cast<const char*>(body.bytes().data()),
              static_cast<std::streamsize>(body.bytes().size()));
   uint8_t footer[8];
   detail::PutU32(footer, kFooterMagic);
   detail::PutU32(footer + 4, crc);
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast): byte I/O
   file.write(reinterpret_cast<const char*>(footer), sizeof(footer));
   file.flush();
   if (!file) return IoError("short write: " + path);

@@ -24,6 +24,11 @@ Result<DatasetReader> DatasetReader::Open(const std::string& path,
   }
 
   uint8_t header_buf[kFileHeaderBytes];
+  // Safe cast: iostreams read into char*, the wire format decodes from
+  // uint8_t*; both are byte types, so viewing one as the other is the
+  // aliasing-exempt object-representation access.  Same for every
+  // reinterpret_cast in this file.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   reader.file_->read(reinterpret_cast<char*>(header_buf), sizeof(header_buf));
   if (reader.file_->gcount() != static_cast<std::streamsize>(
                                     sizeof(header_buf))) {
@@ -60,6 +65,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
 
   while (true) {
     uint8_t head_buf[kFooterBytes];  // big enough for either header or footer
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast): byte I/O
     file_->read(reinterpret_cast<char*>(head_buf), kBlockHeaderBytes);
     const std::streamsize head_got = file_->gcount();
     if (head_got != static_cast<std::streamsize>(kBlockHeaderBytes)) {
@@ -78,6 +84,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
     const uint32_t first_word = detail::GetU32(head_buf);
     if (first_word == kFooterMagic) {
       // Read the rest of the footer.
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast): byte I/O
       file_->read(reinterpret_cast<char*>(head_buf + kBlockHeaderBytes),
                   kFooterBytes - kBlockHeaderBytes);
       if (file_->gcount() !=
@@ -135,6 +142,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
 
     std::vector<uint8_t> payload(static_cast<size_t>(block.record_count) *
                                  kWireRecordBytes);
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast): byte I/O
     file_->read(reinterpret_cast<char*>(payload.data()),
                 static_cast<std::streamsize>(payload.size()));
     if (file_->gcount() != static_cast<std::streamsize>(payload.size())) {

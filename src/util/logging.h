@@ -3,9 +3,16 @@
 //   LOG(INFO) << "built " << n << " clusters";
 //   CHECK(ptr != nullptr) << "cluster must exist";
 //   CHECK_EQ(a, b);
+//   DCHECK_LE(sim, 1.0) << "similarity is a mean of fractions";
 //
 // FATAL logs abort the process.  CHECK macros are always on (they guard
 // internal invariants, not user input; user input errors surface as Status).
+// DCHECK macros compile to nothing in Release (NDEBUG) builds: use them for
+// invariants that are too hot to verify in production — per-record
+// reconciliation, per-merge algebra spot-checks — while CHECK stays for
+// cheap preconditions whose violation would corrupt results silently.
+// DCHECK operands are not evaluated in Release, so they must be
+// side-effect-free.
 #ifndef ATYPICAL_UTIL_LOGGING_H_
 #define ATYPICAL_UTIL_LOGGING_H_
 
@@ -101,5 +108,36 @@ class Voidify {
     ::atypical::Status _st = (expr);                              \
     CHECK(_st.ok()) << _st.ToString();                            \
   } while (false)
+
+// Debug-only checks.  In Release the condition is never evaluated but stays
+// syntactically checked (and streamed operands swallowed), so DCHECKed code
+// cannot rot behind the build type.
+#ifdef NDEBUG
+#define ATYPICAL_DCHECK_IS_ON 0
+#else
+#define ATYPICAL_DCHECK_IS_ON 1
+#endif
+
+#if ATYPICAL_DCHECK_IS_ON
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#define DCHECK_OK(expr) CHECK_OK(expr)
+#else
+#define ATYPICAL_DCHECK_DISCARD(condition)                        \
+  while (false && (condition)) ::atypical::internal_logging::NullStream()
+#define DCHECK(condition) ATYPICAL_DCHECK_DISCARD(condition)
+#define DCHECK_EQ(a, b) ATYPICAL_DCHECK_DISCARD((a) == (b))
+#define DCHECK_NE(a, b) ATYPICAL_DCHECK_DISCARD((a) != (b))
+#define DCHECK_LT(a, b) ATYPICAL_DCHECK_DISCARD((a) < (b))
+#define DCHECK_LE(a, b) ATYPICAL_DCHECK_DISCARD((a) <= (b))
+#define DCHECK_GT(a, b) ATYPICAL_DCHECK_DISCARD((a) > (b))
+#define DCHECK_GE(a, b) ATYPICAL_DCHECK_DISCARD((a) >= (b))
+#define DCHECK_OK(expr) ATYPICAL_DCHECK_DISCARD((expr).ok())
+#endif
 
 #endif  // ATYPICAL_UTIL_LOGGING_H_

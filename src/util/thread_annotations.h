@@ -1,0 +1,59 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// These drive Clang's `-Wthread-safety` static race detection: annotate
+// shared state with ATYPICAL_GUARDED_BY(mu) and lock-requiring functions
+// with ATYPICAL_REQUIRES(mu), and the compiler rejects any access path
+// that does not provably hold the lock.  GCC compiles the same code with
+// the annotations expanded to nothing, so the annotations cost nothing
+// where they cannot be checked.
+//
+// Naming follows the capability model used by abseil/clang docs:
+//   CAPABILITY      — a type that represents a lockable resource (Mutex)
+//   GUARDED_BY      — data that may only be touched while holding the lock
+//   REQUIRES        — caller must hold the lock (non-exclusively: _SHARED)
+//   ACQUIRE/RELEASE — functions that take/drop the lock themselves
+//   SCOPED_CAPABILITY — RAII types like MutexLock
+#ifndef ATYPICAL_UTIL_THREAD_ANNOTATIONS_H_
+#define ATYPICAL_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ATYPICAL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ATYPICAL_THREAD_ANNOTATION(x)  // no-op: only Clang checks these
+#endif
+
+#define ATYPICAL_CAPABILITY(x) ATYPICAL_THREAD_ANNOTATION(capability(x))
+
+#define ATYPICAL_SCOPED_CAPABILITY ATYPICAL_THREAD_ANNOTATION(scoped_lockable)
+
+#define ATYPICAL_GUARDED_BY(x) ATYPICAL_THREAD_ANNOTATION(guarded_by(x))
+
+#define ATYPICAL_PT_GUARDED_BY(x) ATYPICAL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ATYPICAL_REQUIRES(...) \
+  ATYPICAL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define ATYPICAL_REQUIRES_SHARED(...) \
+  ATYPICAL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ATYPICAL_ACQUIRE(...) \
+  ATYPICAL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ATYPICAL_RELEASE(...) \
+  ATYPICAL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define ATYPICAL_TRY_ACQUIRE(...) \
+  ATYPICAL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define ATYPICAL_EXCLUDES(...) \
+  ATYPICAL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ATYPICAL_RETURN_CAPABILITY(x) \
+  ATYPICAL_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (e.g. locking driven by
+// runtime data).  Use sparingly and leave a comment saying why.
+#define ATYPICAL_NO_THREAD_SAFETY_ANALYSIS \
+  ATYPICAL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // ATYPICAL_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,216 @@
+// ParallelIntegrateClusters must be a bit-identical drop-in for the serial
+// Algorithm 3 driver: same partition, same features, same ids, on any input
+// order (Property 3 makes the merge algebra order-insensitive; the driver
+// additionally pins the serial greedy order, so even the hard partition and
+// the id sequence must match).
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/integration.h"
+#include "core/parallel_integration.h"
+#include "core/similarity.h"
+#include "util/random.h"
+
+namespace atypical {
+namespace {
+
+std::vector<AtypicalCluster> RandomMicros(int count, uint32_t key_space,
+                                          uint64_t seed,
+                                          ClusterIdGenerator* ids) {
+  Rng rng(seed);
+  std::vector<AtypicalCluster> out;
+  for (int i = 0; i < count; ++i) {
+    AtypicalCluster c;
+    c.id = ids->Next();
+    c.micro_ids = {c.id};
+    c.first_day = static_cast<int>(rng.UniformInt(uint64_t{30}));
+    c.last_day = c.first_day;
+    c.num_records = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{40}));
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    for (int j = 0; j < n; ++j) {
+      const double severity = rng.Uniform(0.5, 15.0);
+      c.spatial.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{key_space})),
+                    severity);
+      c.temporal.Add(
+          static_cast<uint32_t>(rng.UniformInt(uint64_t{key_space})),
+          severity);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void ExpectIdentical(const std::vector<AtypicalCluster>& serial,
+                     const std::vector<AtypicalCluster>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const AtypicalCluster& s = serial[i];
+    const AtypicalCluster& p = parallel[i];
+    EXPECT_EQ(s.id, p.id) << "cluster " << i;
+    EXPECT_EQ(s.spatial, p.spatial) << "cluster " << i;
+    EXPECT_EQ(s.temporal, p.temporal) << "cluster " << i;
+    EXPECT_EQ(s.key_mode, p.key_mode) << "cluster " << i;
+    EXPECT_EQ(s.micro_ids, p.micro_ids) << "cluster " << i;
+    EXPECT_EQ(s.left_child, p.left_child) << "cluster " << i;
+    EXPECT_EQ(s.right_child, p.right_child) << "cluster " << i;
+    EXPECT_EQ(s.first_day, p.first_day) << "cluster " << i;
+    EXPECT_EQ(s.last_day, p.last_day) << "cluster " << i;
+    EXPECT_EQ(s.num_records, p.num_records) << "cluster " << i;
+  }
+}
+
+struct EquivalenceCase {
+  BalanceFunction g;
+  double delta_sim;
+  uint64_t seed;
+  int num_threads;
+  bool use_index;
+};
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(ParallelEquivalenceTest, BitIdenticalToSerial) {
+  const EquivalenceCase c = GetParam();
+  ClusterIdGenerator seed_ids(1);
+  const std::vector<AtypicalCluster> micros =
+      RandomMicros(120, 16, c.seed, &seed_ids);
+
+  IntegrationParams base;
+  base.g = c.g;
+  base.delta_sim = c.delta_sim;
+  base.use_candidate_index = c.use_index;
+
+  ClusterIdGenerator serial_ids(1000);
+  IntegrationStats serial_stats;
+  const auto serial = IntegrateClusters(micros, base, &serial_ids,
+                                        &serial_stats);
+
+  ParallelIntegrationParams params;
+  params.base = base;
+  params.num_threads = c.num_threads;
+  params.min_shard_candidates = 4;  // exercise the pool, not the inline path
+  ClusterIdGenerator parallel_ids(1000);
+  IntegrationStats parallel_stats;
+  const auto parallel =
+      ParallelIntegrateClusters(micros, params, &parallel_ids,
+                                &parallel_stats);
+
+  ExpectIdentical(serial, parallel);
+  EXPECT_EQ(serial_stats.input_clusters, parallel_stats.input_clusters);
+  EXPECT_EQ(serial_stats.output_clusters, parallel_stats.output_clusters);
+  EXPECT_EQ(serial_stats.merges, parallel_stats.merges);
+  // similarity_checks may legitimately differ: shards past the chosen
+  // candidate may have been scanned.  It can never be less than the serial
+  // early-exit count.
+  EXPECT_GE(parallel_stats.similarity_checks,
+            serial_stats.similarity_checks);
+}
+
+std::vector<EquivalenceCase> MakeCases() {
+  std::vector<EquivalenceCase> cases;
+  uint64_t seed = 7;
+  for (const BalanceFunction g :
+       {BalanceFunction::kMax, BalanceFunction::kArithmeticMean,
+        BalanceFunction::kHarmonicMean}) {
+    for (const double delta_sim : {0.25, 0.5}) {
+      for (const int threads : {2, 4}) {
+        for (const bool use_index : {true, false}) {
+          cases.push_back(EquivalenceCase{g, delta_sim, seed++, threads,
+                                          use_index});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelEquivalenceTest,
+                         ::testing::ValuesIn(MakeCases()));
+
+TEST(ParallelIntegrationTest, PermutedInputStaysEquivalent) {
+  // Property 3: the merge algebra is order-insensitive, so for any
+  // permutation of the input the parallel driver must still match the
+  // serial driver run on that same permutation, and both must conserve the
+  // permuted mass exactly.
+  ClusterIdGenerator seed_ids(1);
+  std::vector<AtypicalCluster> micros = RandomMicros(90, 12, 42, &seed_ids);
+
+  Rng rng(271828);
+  for (int round = 0; round < 4; ++round) {
+    for (size_t i = micros.size(); i > 1; --i) {
+      std::swap(micros[i - 1], micros[rng.UniformInt(uint64_t{i})]);
+    }
+    ParallelIntegrationParams params;
+    params.num_threads = 3;
+    params.min_shard_candidates = 4;
+    ClusterIdGenerator serial_ids(5000);
+    ClusterIdGenerator parallel_ids(5000);
+    const auto serial = IntegrateClusters(micros, params.base, &serial_ids);
+    const auto parallel =
+        ParallelIntegrateClusters(micros, params, &parallel_ids);
+    ExpectIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelIntegrationTest, ReachesTheFixpoint) {
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros = RandomMicros(80, 10, 9, &ids);
+  double input_mass = 0.0;
+  for (const auto& m : micros) input_mass += m.severity();
+
+  ParallelIntegrationParams params;
+  params.num_threads = 4;
+  params.min_shard_candidates = 1;
+  const auto macros = ParallelIntegrateClusters(micros, params, &ids);
+
+  double output_mass = 0.0;
+  for (const auto& macro : macros) output_mass += macro.severity();
+  EXPECT_NEAR(output_mass, input_mass, 1e-6);
+  for (size_t i = 0; i < macros.size(); ++i) {
+    for (size_t j = i + 1; j < macros.size(); ++j) {
+      ASSERT_LE(Similarity(macros[i], macros[j], params.base.g),
+                params.base.delta_sim);
+    }
+  }
+}
+
+TEST(ParallelIntegrationTest, EdgeCases) {
+  ParallelIntegrationParams params;
+  params.num_threads = 4;
+  ClusterIdGenerator ids(1);
+
+  // Empty input.
+  EXPECT_TRUE(ParallelIntegrateClusters({}, params, &ids).empty());
+
+  // Single cluster passes through untouched.
+  std::vector<AtypicalCluster> one = RandomMicros(1, 4, 3, &ids);
+  const auto single = ParallelIntegrateClusters(one, params, &ids);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].spatial, one[0].spatial);
+
+  // More threads than clusters: shards are empty but the scan still works.
+  std::vector<AtypicalCluster> two = RandomMicros(2, 4, 5, &ids);
+  ParallelIntegrationParams wide = params;
+  wide.num_threads = 8;
+  wide.min_shard_candidates = 0;
+  const auto merged = ParallelIntegrateClusters(two, wide, &ids);
+  EXPECT_GE(merged.size(), 1u);
+  EXPECT_LE(merged.size(), 2u);
+}
+
+TEST(ParallelIntegrationTest, SingleThreadFallsBackToSerial) {
+  ClusterIdGenerator seed_ids(1);
+  const auto micros = RandomMicros(50, 8, 11, &seed_ids);
+  ParallelIntegrationParams params;
+  params.num_threads = 1;
+  ClusterIdGenerator a(100);
+  ClusterIdGenerator b(100);
+  ExpectIdentical(IntegrateClusters(micros, params.base, &a),
+                  ParallelIntegrateClusters(micros, params, &b));
+}
+
+}  // namespace
+}  // namespace atypical

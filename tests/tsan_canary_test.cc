@@ -1,0 +1,101 @@
+// Proves the TSan CI job actually detects races (compiled only under
+// -DATYPICAL_TSAN=ON).
+//
+// A sanitizer job that silently stopped instrumenting would stay green
+// forever, so this canary races on purpose and demands the failure: the
+// parent re-execs itself with TSAN_OPTIONS tuned to exit(66) on a detected
+// race; the child runs the exact unguarded-counter pattern that dropping a
+// MutexLock from util/sync.h would produce.  If the child exits 0 the
+// toolchain lost its race detection and this test fails the suite.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if !defined(__SANITIZE_THREAD__) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+
+namespace {
+
+constexpr int kRaceExitCode = 66;
+constexpr char kChildEnv[] = "ATYPICAL_TSAN_CANARY_CHILD";
+
+// The deliberate bug: two threads bump one counter with no lock.  (Any
+// MutexLock-protected version of this is what the real code does.)
+int RunRacyChild() {
+  int unguarded_counter = 0;
+  auto bump = [&unguarded_counter] {
+    for (int i = 0; i < 100000; ++i) ++unguarded_counter;
+  };
+  std::thread a(bump);
+  std::thread b(bump);
+  a.join();
+  b.join();
+  // Reached only if TSan misses the race (it then exits via atexit with the
+  // configured exitcode, so a detected race never returns 0).
+  std::printf("counter=%d\n", unguarded_counter);
+  return 0;
+}
+
+int RunParent(const char* self) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    setenv(kChildEnv, "1", 1);
+    // halt_on_error makes the child exit at the first report with our
+    // sentinel code instead of continuing or aborting.
+    setenv("TSAN_OPTIONS", "exitcode=66 halt_on_error=1 abort_on_error=0", 1);
+    execl(self, self, (char*)nullptr);
+    std::perror("execl");
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) {
+    std::perror("waitpid");
+    return 1;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == kRaceExitCode) {
+    std::printf("ok: TSan flagged the deliberate race (child exit %d)\n",
+                kRaceExitCode);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "FAIL: deliberately racy child did not trip TSan "
+               "(status=0x%x) — the sanitizer job is not detecting races\n",
+               status);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  // ctest may invoke us through a relative path; /proc/self/exe is the
+  // reliable re-exec target on Linux.
+  char self[4096];
+  const ssize_t len = readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (len > 0) {
+    self[len] = '\0';
+  } else {
+    std::snprintf(self, sizeof(self), "%s", argv[0]);
+  }
+#ifndef __SANITIZE_THREAD__
+  // Defensive: the build system only compiles this file under
+  // ATYPICAL_TSAN, but never let an uninstrumented binary "pass".
+  std::fprintf(stderr,
+               "FAIL: tsan_canary_test built without ThreadSanitizer\n");
+  return 1;
+#else
+  if (std::getenv(kChildEnv) != nullptr) return RunRacyChild();
+  return RunParent(self);
+#endif
+}

@@ -59,7 +59,9 @@ TEST(FaultPlanTest, FlipBitChangesExactlyOneBitInRange) {
     int differing_bits = 0;
     for (size_t i = 0; i < bytes.size(); ++i) {
       differing_bits += __builtin_popcount(bytes[i] ^ original[i]);
-      if (bytes[i] != original[i]) EXPECT_EQ(i, offset);
+      if (bytes[i] != original[i]) {
+        EXPECT_EQ(i, offset);
+      }
     }
     EXPECT_EQ(differing_bits, 1);
   }
