@@ -17,7 +17,6 @@
 #include "gen/workload.h"
 #include "storage/reader.h"
 #include "storage/writer.h"
-#include "util/stopwatch.h"
 
 int main() {
   using namespace atypical;
@@ -46,7 +45,7 @@ int main() {
     CHECK_OK(storage::WriteDataset(dataset, path).status());
 
     // PR: one full scan of the stored raw data selecting atypical records.
-    Stopwatch pr_timer;
+    bench::BenchTimer pr_timer("fig15.pr");
     std::vector<AtypicalRecord> atypical;
     {
       Result<storage::DatasetReader> reader =
@@ -58,10 +57,10 @@ int main() {
                    })
                    .status());
     }
-    pr_total += pr_timer.ElapsedSeconds();
+    pr_total += pr_timer.StopSeconds();
 
     // OC: read the raw dataset back and aggregate every reading.
-    Stopwatch oc_timer;
+    bench::BenchTimer oc_timer("fig15.oc");
     {
       Result<Dataset> raw = storage::ReadDataset(path);
       CHECK_OK(raw.status());
@@ -69,25 +68,25 @@ int main() {
           cube::BottomUpCube::FromReadings(*raw, *workload->regions);
       (void)oc;
     }
-    oc_total += oc_timer.ElapsedSeconds();
+    oc_total += oc_timer.StopSeconds();
 
     // MC: aggregate only the pre-selected atypical records.
-    Stopwatch mc_timer;
+    bench::BenchTimer mc_timer("fig15.mc");
     {
       cube::BottomUpCube mc = cube::BottomUpCube::FromAtypical(
           atypical, *workload->regions, grid);
       (void)mc;
     }
-    mc_total += mc_timer.ElapsedSeconds();
+    mc_total += mc_timer.StopSeconds();
 
     // AC: Algorithm 1 over the atypical records.
-    Stopwatch ac_timer;
+    bench::BenchTimer ac_timer("fig15.ac");
     {
       const auto micros = RetrieveMicroClusters(atypical, *workload->sensors,
                                                 grid, retrieval, &ids);
       (void)micros;
     }
-    ac_total += ac_timer.ElapsedSeconds();
+    ac_total += ac_timer.StopSeconds();
 
     std::remove(path.c_str());
     table.AddRow({StrPrintf("%d", month + 1), StrPrintf("%.3f", pr_total),

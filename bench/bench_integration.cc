@@ -13,7 +13,6 @@
 #include "core/integration.h"
 #include "core/parallel_integration.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
 
 namespace atypical {
 namespace {
@@ -47,9 +46,9 @@ std::vector<AtypicalCluster> MakeMicros(int count, uint32_t key_space,
 double RunSerial(const std::vector<AtypicalCluster>& micros,
                  const IntegrationParams& params, size_t* out_clusters) {
   ClusterIdGenerator ids(1u << 20);
-  Stopwatch timer;
+  bench::BenchTimer timer("integration.serial");
   const auto macros = IntegrateClusters(micros, params, &ids);
-  const double ms = timer.ElapsedMillis();
+  const double ms = timer.StopMillis();
   *out_clusters = macros.size();
   return ms;
 }
@@ -61,9 +60,9 @@ double RunParallel(const std::vector<AtypicalCluster>& micros,
   params.base = base;
   params.num_threads = threads;
   ClusterIdGenerator ids(1u << 20);
-  Stopwatch timer;
+  bench::BenchTimer timer("integration.parallel");
   const auto macros = ParallelIntegrateClusters(micros, params, &ids);
-  const double ms = timer.ElapsedMillis();
+  const double ms = timer.StopMillis();
   CHECK_EQ(macros.size(), expect_clusters)
       << "parallel driver diverged from serial at " << threads << " threads";
   return ms;

@@ -14,7 +14,6 @@
 #include "core/streaming.h"
 #include "gen/workload.h"
 #include "util/fault.h"
-#include "util/stopwatch.h"
 
 namespace atypical {
 namespace {
@@ -32,10 +31,10 @@ RunResult RunRaw(const Workload& workload, const TimeGrid& grid,
   ClusterIdGenerator ids(1);
   StreamingEventBuilder builder(workload.sensors.get(), grid, params, &ids,
                                 [&](AtypicalCluster) { ++result.clusters; });
-  Stopwatch watch;
+  bench::BenchTimer watch("robust_ingest.raw");
   for (const AtypicalRecord& r : records) builder.Add(r);
   builder.Flush();
-  result.seconds = watch.ElapsedSeconds();
+  result.seconds = watch.StopSeconds();
   result.stats.records_in = records.size();
   result.stats.accepted = records.size();
   return result;
@@ -51,10 +50,10 @@ RunResult RunGuarded(const Workload& workload, const TimeGrid& grid,
   RobustStreamingEventBuilder guard(
       workload.sensors.get(), grid, params, &ids,
       [&](AtypicalCluster) { ++result.clusters; }, options);
-  Stopwatch watch;
+  bench::BenchTimer watch("robust_ingest.guard");
   for (const AtypicalRecord& r : records) guard.Add(r);
   guard.Flush();
-  result.seconds = watch.ElapsedSeconds();
+  result.seconds = watch.StopSeconds();
   result.stats = guard.stats();
   return result;
 }

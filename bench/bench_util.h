@@ -11,12 +11,32 @@
 #include <string>
 #include <sys/stat.h>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace atypical {
 namespace bench {
+
+// Times a bench region through the same obs histograms the pipeline uses:
+// each measurement also lands in the "bench.<name>.seconds" histogram, so a
+// --stats-style snapshot of a bench run shows its timing distribution next
+// to the pipeline's own.  Under ATYPICAL_NO_STATS the histogram is a no-op
+// stub but the clock still runs, so the returned readings are unchanged.
+class BenchTimer {
+ public:
+  explicit BenchTimer(const std::string& name)
+      : span_(obs::Registry()->GetHistogram("bench." + name + ".seconds")) {}
+
+  // Both stop the span (idempotent) and return the elapsed reading.
+  double StopSeconds() { return span_.Stop(); }
+  double StopMillis() { return span_.Stop() * 1e3; }
+
+ private:
+  obs::TraceSpan span_;
+};
 
 // Number of synthetic months used by year-scale benches; override with
 // ATYPICAL_BENCH_MONTHS for quicker runs.

@@ -13,13 +13,19 @@
 //
 // The generator is deterministic per --seed, so `generate` + `analyze`
 // reproduce exactly.
+//
+// Every command accepts --stats[=text|json] to dump the pipeline's
+// StatsSnapshot on exit (--stats-out FILE redirects it away from stdout).
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "analytics/drilldown.h"
 #include "analytics/report.h"
 #include "core/query.h"
 #include "gen/workload.h"
+#include "obs/snapshot.h"
+#include "obs/stats.h"
 #include "storage/reader.h"
 #include "storage/writer.h"
 #include "util/flags.h"
@@ -41,8 +47,37 @@ int Usage() {
                "       atypical_cli inspect FILE...\n"
                "       atypical_cli analyze --dir DIR [--days A:B] "
                "[--strategy All|Pru|Gui] [--delta-s F] [--post-check] "
-               "[--scale tiny|small] [--seed S]\n");
+               "[--scale tiny|small] [--seed S]\n"
+               "Any command also takes --stats[=text|json] "
+               "[--stats-out FILE] to dump pipeline metrics on exit.\n");
   return 2;
+}
+
+// Renders the process-wide StatsSnapshot per --stats[=text|json], to stdout
+// or to --stats-out FILE.  No-op without --stats.  In an ATYPICAL_NO_STATS
+// build the snapshot is empty but still renders (valid empty JSON), so the
+// flag's contract is build-flavor independent.
+int DumpStats(const FlagParser& flags) {
+  if (!flags.Has("stats")) return 0;
+  const std::string mode = flags.GetString("stats", "text");
+  std::string rendered;
+  const obs::StatsSnapshot snapshot = obs::Registry()->Snapshot();
+  if (mode == "json") {
+    rendered = snapshot.ToJson();
+  } else if (mode == "text" || mode == "true") {  // bare --stats
+    rendered = snapshot.ToText();
+  } else {
+    return Fail("--stats expects text or json, got: " + mode);
+  }
+  const std::string out_path = flags.GetString("stats-out", "");
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  out << rendered;
+  if (!out) return Fail("cannot write --stats-out file: " + out_path);
+  return 0;
 }
 
 Result<WorkloadScale> ParseScale(const std::string& name) {
@@ -208,8 +243,16 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "inspect") return RunInspect(flags);
-  if (command == "analyze") return RunAnalyze(flags);
-  return Usage();
+  int rc;
+  if (command == "generate") {
+    rc = RunGenerate(flags);
+  } else if (command == "inspect") {
+    rc = RunInspect(flags);
+  } else if (command == "analyze") {
+    rc = RunAnalyze(flags);
+  } else {
+    return Usage();
+  }
+  const int stats_rc = DumpStats(flags);
+  return rc != 0 ? rc : stats_rc;
 }

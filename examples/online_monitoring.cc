@@ -19,13 +19,19 @@
 #include "core/query.h"
 #include "cube/cube.h"
 #include "gen/workload.h"
+#include "obs/snapshot.h"
+#include "obs/stats.h"
 #include "storage/reader.h"
 #include "storage/writer.h"
 #include "util/fault.h"
+#include "util/flags.h"
 #include "util/string_util.h"
 
-int main() {
+// Accepts --stats[=text|json] [--stats-out FILE] to dump the pipeline's
+// StatsSnapshot after the run (same contract as atypical_cli).
+int main(int argc, char** argv) {
   using namespace atypical;
+  const FlagParser flags(argc, argv);
 
   const auto workload = MakeWorkload(WorkloadScale::kTiny, 4);
   const TimeGrid grid = workload->gen_config.time_grid;
@@ -145,5 +151,32 @@ int main() {
   std::printf("\nforest now holds %zu micro-clusters (%s)\n",
               forest.num_micro_clusters(),
               HumanBytes(forest.ByteSize()).c_str());
+
+  if (flags.Has("stats")) {
+    const std::string mode = flags.GetString("stats", "text");
+    const obs::StatsSnapshot snapshot = obs::Registry()->Snapshot();
+    std::string rendered;
+    if (mode == "json") {
+      rendered = snapshot.ToJson();
+    } else if (mode == "text" || mode == "true") {  // bare --stats
+      rendered = snapshot.ToText();
+    } else {
+      std::fprintf(stderr, "error: --stats expects text or json, got: %s\n",
+                   mode.c_str());
+      return 1;
+    }
+    const std::string out_path = flags.GetString("stats-out", "");
+    if (out_path.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::ofstream out(out_path, std::ios::trunc);
+      out << rendered;
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write --stats-out file: %s\n",
+                     out_path.c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "index/grid_index.h"
+#include "obs/stats.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -75,6 +76,19 @@ std::vector<std::vector<size_t>> RetrieveEvents(
     events.push_back(std::move(event));
   }
 
+  static obs::Counter* const records_in =
+      obs::Registry()->GetCounter("retrieval.records_in");
+  static obs::Counter* const events_out =
+      obs::Registry()->GetCounter("retrieval.events_out");
+  static obs::Counter* const index_probes =
+      obs::Registry()->GetCounter("retrieval.index_probes");
+  static obs::Histogram* const seconds =
+      obs::Registry()->GetHistogram("retrieval.seconds");
+  records_in->Add(records.size());
+  events_out->Add(events.size());
+  index_probes->Add(neighbor_checks);
+  seconds->Record(timer.ElapsedSeconds());
+
   if (stats != nullptr) {
     stats->num_events = events.size();
     stats->num_records = records.size();
@@ -137,6 +151,9 @@ std::vector<AtypicalCluster> RetrieveMicroClusters(
   for (const std::vector<size_t>& event : events) {
     clusters.push_back(BuildMicroCluster(records, event, grid, ids));
   }
+  static obs::Counter* const micros_out =
+      obs::Registry()->GetCounter("retrieval.micro_clusters_out");
+  micros_out->Add(clusters.size());
   if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
   return clusters;
 }

@@ -4,6 +4,8 @@
 
 #include "core/temporal_key.h"
 #include "cube/hierarchy.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace atypical {
@@ -17,15 +19,40 @@ AtypicalForest::AtypicalForest(const SensorNetwork* network,
 
 void AtypicalForest::AddDay(int day,
                             const std::vector<AtypicalRecord>& records) {
-  CHECK(!micros_by_day_.contains(day)) << "day " << day << " already added";
   for (const AtypicalRecord& r : records) {
     CHECK_EQ(grid_.DayOfWindow(r.window), day)
         << "record window not on day " << day;
   }
   std::vector<AtypicalCluster> micros = RetrieveMicroClusters(
       records, *network_, grid_, params_.retrieval, &ids_);
+
+  static obs::Counter* const days_added =
+      obs::Registry()->GetCounter("forest.days_added");
+  static obs::Counter* const day_batches_merged =
+      obs::Registry()->GetCounter("forest.day_batches_merged");
+  static obs::Histogram* const micros_per_day = obs::Registry()->GetHistogram(
+      "forest.micros_per_day", obs::BucketLayout::Counts());
+  micros_per_day->Record(static_cast<double>(micros.size()));
+
   num_micros_ += micros.size();
-  micros_by_day_.emplace(day, std::move(micros));
+  auto [it, inserted] = micros_by_day_.try_emplace(day, std::move(micros));
+  if (inserted) {
+    days_added->Add(1);
+  } else {
+    // Late batch for an existing day: the new batch was clustered on its
+    // own above; append its micro-clusters to the day's leaf set.  Records
+    // split across batches are not re-joined at the leaf — query-time
+    // integration merges similar clusters — and materialized week/month
+    // levels are not refreshed automatically.
+    day_batches_merged->Add(1);
+    std::vector<AtypicalCluster>& existing = it->second;
+    if (existing.empty()) {
+      existing = std::move(micros);
+    } else {
+      existing.insert(existing.end(), std::make_move_iterator(micros.begin()),
+                      std::make_move_iterator(micros.end()));
+    }
+  }
 }
 
 void AtypicalForest::AddRecords(const std::vector<AtypicalRecord>& records) {
@@ -81,6 +108,11 @@ std::vector<AtypicalCluster> AtypicalForest::IntegrateRange(
 }
 
 size_t AtypicalForest::MaterializeWeeks() {
+  static obs::Counter* const weeks_materialized =
+      obs::Registry()->GetCounter("forest.weeks_materialized");
+  static obs::Histogram* const seconds =
+      obs::Registry()->GetHistogram("forest.materialize_weeks_seconds");
+  obs::TraceSpan span(seconds);
   macros_by_week_.clear();
   std::map<int, DayRange> weeks;
   for (const auto& [day, _] : micros_by_day_) {
@@ -97,11 +129,17 @@ size_t AtypicalForest::MaterializeWeeks() {
     built += macros.size();
     macros_by_week_.emplace(week, std::move(macros));
   }
+  weeks_materialized->Add(macros_by_week_.size());
   return built;
 }
 
 size_t AtypicalForest::MaterializeMonths(int days_per_month) {
   CHECK_GT(days_per_month, 0);
+  static obs::Counter* const months_materialized =
+      obs::Registry()->GetCounter("forest.months_materialized");
+  static obs::Histogram* const seconds =
+      obs::Registry()->GetHistogram("forest.materialize_months_seconds");
+  obs::TraceSpan span(seconds);
   month_days_ = days_per_month;
   macros_by_month_.clear();
   std::map<int, DayRange> months;
@@ -119,6 +157,7 @@ size_t AtypicalForest::MaterializeMonths(int days_per_month) {
     built += macros.size();
     macros_by_month_.emplace(month, std::move(macros));
   }
+  months_materialized->Add(macros_by_month_.size());
   return built;
 }
 

@@ -34,10 +34,16 @@ class AtypicalForest {
   ClusterIdGenerator* ids() { return &ids_; }
 
   // Builds and stores the micro-clusters of one day.  `records` must all
-  // fall on `day`; days may arrive in any order but each day only once.
+  // fall on `day`.  Days may arrive in any order, and a day may arrive more
+  // than once: a later batch is clustered on its own and its micro-clusters
+  // are appended to the day's leaf set.  Records split across batches are
+  // not re-joined at the leaf — query-time integration merges similar
+  // clusters — and materialized week/month levels are not refreshed; call
+  // MaterializeWeeks/MaterializeMonths again after late batches.
   void AddDay(int day, const std::vector<AtypicalRecord>& records);
 
-  // Groups `records` by day and adds each day.
+  // Groups `records` by day and adds each day (appending to days already
+  // present, per the AddDay batch-merge policy).
   void AddRecords(const std::vector<AtypicalRecord>& records);
 
   // Days present, ascending.

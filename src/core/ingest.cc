@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stats.h"
 #include "util/logging.h"
 
 namespace atypical {
@@ -51,6 +52,44 @@ RobustStreamingEventBuilder::RobustStreamingEventBuilder(
       options_(options),
       builder_(network, grid, params, ids, std::move(emit)) {
   CHECK_GE(options.lateness_horizon_windows, 0);
+}
+
+RobustStreamingEventBuilder::~RobustStreamingEventBuilder() { PublishStats(); }
+
+void RobustStreamingEventBuilder::PublishStats() {
+  // Cached metric handles: one registry lookup per process, not per guard.
+  static obs::Counter* const records_in =
+      obs::Registry()->GetCounter("ingest.records_in");
+  static obs::Counter* const accepted =
+      obs::Registry()->GetCounter("ingest.accepted");
+  static obs::Counter* const reordered =
+      obs::Registry()->GetCounter("ingest.reordered");
+  static obs::Counter* const quarantined_unknown_sensor =
+      obs::Registry()->GetCounter("ingest.quarantined.unknown_sensor");
+  static obs::Counter* const quarantined_bad_severity =
+      obs::Registry()->GetCounter("ingest.quarantined.bad_severity");
+  static obs::Counter* const quarantined_excess_severity =
+      obs::Registry()->GetCounter("ingest.quarantined.excess_severity");
+  static obs::Counter* const quarantined_duplicate =
+      obs::Registry()->GetCounter("ingest.quarantined.duplicate");
+  static obs::Counter* const quarantined_late =
+      obs::Registry()->GetCounter("ingest.quarantined.late");
+
+  // Deltas keep Flush + destructor (and repeated flushes) exact: the global
+  // counters always total the per-instance IngestStats published so far.
+  records_in->Add(stats_.records_in - published_.records_in);
+  accepted->Add(stats_.accepted - published_.accepted);
+  reordered->Add(stats_.reordered - published_.reordered);
+  quarantined_unknown_sensor->Add(stats_.quarantined_unknown_sensor -
+                                  published_.quarantined_unknown_sensor);
+  quarantined_bad_severity->Add(stats_.quarantined_bad_severity -
+                                published_.quarantined_bad_severity);
+  quarantined_excess_severity->Add(stats_.quarantined_excess_severity -
+                                   published_.quarantined_excess_severity);
+  quarantined_duplicate->Add(stats_.quarantined_duplicate -
+                             published_.quarantined_duplicate);
+  quarantined_late->Add(stats_.quarantined_late - published_.quarantined_late);
+  published_ = stats_;
 }
 
 QuarantineCause RobustStreamingEventBuilder::ClassifyFields(
@@ -182,6 +221,7 @@ void RobustStreamingEventBuilder::Flush() {
   for (const auto& [window, record] : buffer_) Forward(record);
   buffer_.clear();
   builder_.Flush();
+  PublishStats();
 }
 
 }  // namespace atypical

@@ -97,6 +97,11 @@ class RobustStreamingEventBuilder {
                               ClusterIdGenerator* ids, EmitFn emit,
                               const IngestOptions& options = {});
 
+  // Publishes the outstanding IngestStats delta to the global obs registry
+  // (the "ingest.*" counters); Flush() publishes too, so per-record costs
+  // stay out of the obs layer entirely.
+  ~RobustStreamingEventBuilder();
+
   // Installs a tap on accepted records (e.g. to feed a severity cube with
   // only the validated stream).  Must be set before the first Add.
   void set_accept_tap(AcceptFn tap) { accept_tap_ = std::move(tap); }
@@ -132,6 +137,9 @@ class RobustStreamingEventBuilder {
   // Releases buffered records whose window can no longer be preceded by any
   // future admissible record, and prunes expired duplicate-detection state.
   void ReleaseAndPrune();
+  // Adds stats_ - published_ to the global registry and remembers the new
+  // high-water mark; safe to call repeatedly.
+  void PublishStats();
 
   const SensorNetwork* network_;
   TimeGrid grid_;
@@ -146,6 +154,7 @@ class RobustStreamingEventBuilder {
   WindowId watermark_ = 0;  // max accepted window
   bool has_watermark_ = false;
   IngestStats stats_;
+  IngestStats published_;  // portion of stats_ already in the obs registry
   std::deque<Quarantined> quarantine_log_;
 };
 

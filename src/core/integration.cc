@@ -4,6 +4,7 @@
 
 #include "core/integration_internal.h"
 #include "core/merge.h"
+#include "obs/stats.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -28,6 +29,7 @@ std::vector<AtypicalCluster> IntegrateClusters(
   std::vector<bool> alive(n, true);
   size_t similarity_checks = 0;
   size_t merges = 0;
+  size_t fixpoint_rounds = 0;
 
   std::unique_ptr<CandidateIndex> index;
   if (params.use_candidate_index) {
@@ -47,6 +49,7 @@ std::vector<AtypicalCluster> IntegrateClusters(
     bool merged_any = true;
     while (merged_any) {
       merged_any = false;
+      ++fixpoint_rounds;
       if (index != nullptr) {
         index->Candidates(clusters[i], static_cast<uint32_t>(i), alive,
                           &candidates);
@@ -82,6 +85,29 @@ std::vector<AtypicalCluster> IntegrateClusters(
   for (size_t i = 0; i < n; ++i) {
     if (alive[i]) out.push_back(std::move(clusters[i]));
   }
+
+  // Publish once per run; the hot loop above touches only locals.
+  static obs::Counter* const obs_runs =
+      obs::Registry()->GetCounter("integration.runs");
+  static obs::Counter* const obs_inputs =
+      obs::Registry()->GetCounter("integration.input_clusters");
+  static obs::Counter* const obs_outputs =
+      obs::Registry()->GetCounter("integration.output_clusters");
+  static obs::Counter* const obs_checks =
+      obs::Registry()->GetCounter("integration.similarity_checks");
+  static obs::Counter* const obs_merges =
+      obs::Registry()->GetCounter("integration.merges");
+  static obs::Counter* const obs_rounds =
+      obs::Registry()->GetCounter("integration.fixpoint_rounds");
+  static obs::Histogram* const obs_seconds =
+      obs::Registry()->GetHistogram("integration.seconds");
+  obs_runs->Add(1);
+  obs_inputs->Add(n);
+  obs_outputs->Add(out.size());
+  obs_checks->Add(similarity_checks);
+  obs_merges->Add(merges);
+  obs_rounds->Add(fixpoint_rounds);
+  obs_seconds->Record(timer.ElapsedSeconds());
 
   if (stats != nullptr) {
     stats->input_clusters = n;

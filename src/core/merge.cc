@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stats.h"
 #include "util/logging.h"
 
 namespace atypical {
@@ -13,6 +14,9 @@ AtypicalCluster MergeClusters(const AtypicalCluster& a,
   CHECK(a.key_mode == b.key_mode)
       << "merging clusters with different temporal key modes";
   CHECK(ids != nullptr);
+  static obs::Counter* const clusters_merged =
+      obs::Registry()->GetCounter("merge.clusters_merged");
+  clusters_merged->Add(1);
 
   AtypicalCluster out;
   out.id = ids->Next();

@@ -8,6 +8,7 @@
 #include "core/integration_internal.h"
 #include "core/merge.h"
 #include "core/similarity.h"
+#include "obs/stats.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/sync.h"
@@ -96,9 +97,15 @@ class ScanPool {
     }
     work_cv_.SignalAll();
 
+    // How long the coordinator sits idle per scan: the shard-queue wait the
+    // obs layer surfaces for tuning min_shard_candidates / thread counts.
+    static obs::Histogram* const scan_wait =
+        obs::Registry()->GetHistogram("integration.parallel.scan_wait_seconds");
+    Stopwatch wait_timer;
     size_t best = kNoMatch;
     MutexLock lock(&mu_);
     while (pending_ > 0) done_cv_.Wait(&mu_);
+    scan_wait->Record(wait_timer.ElapsedSeconds());
     for (const ShardResult& r : results_) {
       best = std::min(best, r.first_match);
       *checks += r.checks;
@@ -187,6 +194,7 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
   std::vector<bool> alive(n, true);
   size_t similarity_checks = 0;
   size_t merges = 0;
+  size_t fixpoint_rounds = 0;
 
   std::unique_ptr<CandidateIndex> index;
   if (params.base.use_candidate_index) {
@@ -208,6 +216,7 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
     bool merged_any = true;
     while (merged_any) {
       merged_any = false;
+      ++fixpoint_rounds;
       if (index != nullptr) {
         index->Candidates(clusters[i], static_cast<uint32_t>(i), alive,
                           &candidates);
@@ -253,6 +262,29 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
   for (size_t i = 0; i < n; ++i) {
     if (alive[i]) out.push_back(std::move(clusters[i]));
   }
+
+  // Publish once per run; the scan loop and workers touch only locals.
+  static obs::Counter* const obs_runs =
+      obs::Registry()->GetCounter("integration.parallel.runs");
+  static obs::Counter* const obs_inputs =
+      obs::Registry()->GetCounter("integration.parallel.input_clusters");
+  static obs::Counter* const obs_outputs =
+      obs::Registry()->GetCounter("integration.parallel.output_clusters");
+  static obs::Counter* const obs_checks =
+      obs::Registry()->GetCounter("integration.parallel.similarity_checks");
+  static obs::Counter* const obs_merges =
+      obs::Registry()->GetCounter("integration.parallel.merges");
+  static obs::Counter* const obs_rounds =
+      obs::Registry()->GetCounter("integration.parallel.fixpoint_rounds");
+  static obs::Histogram* const obs_seconds =
+      obs::Registry()->GetHistogram("integration.parallel.seconds");
+  obs_runs->Add(1);
+  obs_inputs->Add(n);
+  obs_outputs->Add(out.size());
+  obs_checks->Add(similarity_checks);
+  obs_merges->Add(merges);
+  obs_rounds->Add(fixpoint_rounds);
+  obs_seconds->Record(timer.ElapsedSeconds());
 
   if (stats != nullptr) {
     stats->input_clusters = n;

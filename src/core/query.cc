@@ -1,8 +1,10 @@
 #include "core/query.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/temporal_key.h"
+#include "obs/stats.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -62,7 +64,11 @@ void QueryEngine::FilterToArea(const std::vector<SensorId>& sensors_in_w,
 std::vector<AtypicalCluster> QueryEngine::CollectPlannedInputs(
     const AnalyticalQuery& query, QueryCost* cost) const {
   const DayRange& range = query.days;
-  std::vector<bool> covered(std::max(0, range.NumDays()), false);
+  // Empty or inverted range: nothing to plan, and the cost stays zero.
+  // Run() short-circuits before getting here; the guard keeps the method's
+  // own contract safe for direct callers.
+  if (range.NumDays() <= 0) return {};
+  std::vector<bool> covered(static_cast<size_t>(range.NumDays()), false);
   auto cover = [&](int first, int last) {
     for (int day = first; day <= last; ++day) {
       covered[day - range.first_day] = true;
@@ -145,6 +151,16 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
                              QueryStrategy strategy) const {
   Stopwatch timer;
   QueryResult result;
+  if (query.days.NumDays() <= 0) {
+    // Empty or inverted T: the query covers no days, so the answer is the
+    // default-constructed result — no clusters, zero threshold, zero cost.
+    // Returning early (instead of planning over a zero-length range) keeps
+    // the threshold consistent with the empty evidence set.
+    static obs::Counter* const empty_range =
+        obs::Registry()->GetCounter("query.empty_range");
+    empty_range->Add(1);
+    return result;
+  }
   const std::vector<SensorId> in_w = network_->SensorsInRect(query.area);
   result.num_sensors_in_w = static_cast<int>(in_w.size());
   result.threshold =
@@ -198,6 +214,31 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
   }
 
   result.cost.seconds = timer.ElapsedSeconds();
+
+  // Publish the run's QueryCost once; the strategies above touch only the
+  // result object.
+  static obs::Counter* const obs_runs =
+      obs::Registry()->GetCounter("query.runs");
+  static obs::Counter* const obs_inputs =
+      obs::Registry()->GetCounter("query.input_micro_clusters");
+  static obs::Counter* const obs_in_range =
+      obs::Registry()->GetCounter("query.micro_clusters_in_range");
+  static obs::Counter* const obs_materialized =
+      obs::Registry()->GetCounter("query.materialized_inputs");
+  static obs::Counter* const obs_materialized_days =
+      obs::Registry()->GetCounter("query.days_from_materialized");
+  static obs::Counter* const obs_clusters_out =
+      obs::Registry()->GetCounter("query.clusters_out");
+  static obs::Histogram* const obs_seconds =
+      obs::Registry()->GetHistogram("query.seconds");
+  obs_runs->Add(1);
+  obs_inputs->Add(result.cost.input_micro_clusters);
+  obs_in_range->Add(result.cost.micro_clusters_in_range);
+  obs_materialized->Add(result.cost.materialized_inputs);
+  obs_materialized_days->Add(
+      static_cast<uint64_t>(std::max(0, result.cost.days_from_materialized)));
+  obs_clusters_out->Add(result.clusters.size());
+  obs_seconds->Record(result.cost.seconds);
   return result;
 }
 

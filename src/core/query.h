@@ -85,6 +85,9 @@ class QueryEngine {
 
   const QueryEngineOptions& options() const { return options_; }
 
+  // Runs Q(W, T).  An empty or inverted day range (NumDays() <= 0) covers
+  // no days and returns the default-constructed QueryResult: no clusters,
+  // zero threshold, zero num_sensors_in_w, zero cost.
   QueryResult Run(const AnalyticalQuery& query, QueryStrategy strategy) const;
 
   // The significance threshold δs·length(T)·N this engine would use for the

@@ -1,0 +1,145 @@
+#include "obs/snapshot.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace atypical {
+namespace obs {
+
+namespace {
+
+// Deterministic shortest-ish double rendering shared by both exporters, so
+// golden files and the JSON schema check never chase formatting drift.
+std::string Num(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  return StrPrintf("%.9g", v);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrPrintf("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+uint64_t StatsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::string StatsSnapshot::ToText() const {
+  size_t width = 0;
+  for (const auto& [name, _] : counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauges) width = std::max(width, name.size());
+  for (const HistogramData& h : histograms) {
+    width = std::max(width, h.name.size());
+  }
+
+  std::string out = "== pipeline stats ==\n";
+  if (empty()) return out + "(no metrics recorded)\n";
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters) {
+      out += StrPrintf("  %-*s %llu\n", static_cast<int>(width), name.c_str(),
+                       (unsigned long long)value);
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      out += StrPrintf("  %-*s %lld\n", static_cast<int>(width), name.c_str(),
+                       (long long)value);
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramData& h : histograms) {
+      out += StrPrintf(
+          "  %-*s count=%llu sum=%s p50=%s p90=%s p99=%s max=%s\n",
+          static_cast<int>(width), h.name.c_str(), (unsigned long long)h.count,
+          Num(h.sum).c_str(), Num(h.p50).c_str(), Num(h.p90).c_str(),
+          Num(h.p99).c_str(), Num(h.max).c_str());
+    }
+  }
+  return out;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out;
+  out += StrPrintf("{\n  \"schema_version\": %d,\n  \"counters\": {",
+                   kStatsSchemaVersion);
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(name, &out);
+    out += StrPrintf(": %llu", (unsigned long long)value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(name, &out);
+    out += StrPrintf(": %lld", (long long)value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramData& h : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(h.name, &out);
+    out += StrPrintf(
+        ": {\"count\": %llu, \"sum\": %s, \"max\": %s, \"p50\": %s, "
+        "\"p90\": %s, \"p99\": %s, \"buckets\": [",
+        (unsigned long long)h.count, Num(h.sum).c_str(), Num(h.max).c_str(),
+        Num(h.p50).c_str(), Num(h.p90).c_str(), Num(h.p99).c_str());
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      // The overflow bucket's bound is +inf, which JSON numbers cannot
+      // carry; it travels as the string "inf" (see stats_schema.json).
+      if (std::isinf(h.buckets[i].upper_bound)) {
+        out += StrPrintf("{\"le\": \"inf\", \"count\": %llu}",
+                         (unsigned long long)h.buckets[i].count);
+      } else {
+        out += StrPrintf("{\"le\": %s, \"count\": %llu}",
+                         Num(h.buckets[i].upper_bound).c_str(),
+                         (unsigned long long)h.buckets[i].count);
+      }
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace atypical

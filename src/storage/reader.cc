@@ -3,10 +3,35 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/stats.h"
 #include "util/string_util.h"
 
 namespace atypical {
 namespace storage {
+
+namespace {
+
+// Per-block (never per-record) storage counters.
+struct ReaderMetrics {
+  obs::Counter* blocks_read;
+  obs::Counter* records_read;
+  obs::Counter* blocks_skipped;
+  obs::Counter* records_lost;
+  obs::Counter* footer_missing;
+};
+
+const ReaderMetrics& Metrics() {
+  static const ReaderMetrics m = {
+      obs::Registry()->GetCounter("storage.blocks_read"),
+      obs::Registry()->GetCounter("storage.records_read"),
+      obs::Registry()->GetCounter("storage.blocks_skipped"),
+      obs::Registry()->GetCounter("storage.records_lost"),
+      obs::Registry()->GetCounter("storage.footer_missing"),
+  };
+  return m;
+}
+
+}  // namespace
 
 Result<DatasetReader> DatasetReader::Open(const std::string& path,
                                           const ReaderOptions& options) {
@@ -73,8 +98,12 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
         return DataLossError("truncated block header: " + path_);
       }
       // The file ended mid-structure; there is nothing left to resync on.
-      if (head_got > 0) ++salvage_.blocks_skipped;
+      if (head_got > 0) {
+        ++salvage_.blocks_skipped;
+        Metrics().blocks_skipped->Add(1);
+      }
       salvage_.footer_missing = true;
+      Metrics().footer_missing->Add(1);
       exhausted_ = true;
       return false;
     }
@@ -93,6 +122,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
           return DataLossError("truncated footer: " + path_);
         }
         salvage_.footer_missing = true;
+        Metrics().footer_missing->Add(1);
         exhausted_ = true;
         return false;
       }
@@ -129,11 +159,14 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       // holds exactly block_records_ records).
       ++salvage_.blocks_skipped;
       salvage_.records_lost += block_records_;
+      Metrics().blocks_skipped->Add(1);
+      Metrics().records_lost->Add(block_records_);
       file_->seekg(static_cast<std::streamoff>(block_records_) *
                        static_cast<std::streamoff>(kWireRecordBytes),
                    std::ios::cur);
       if (!*file_) {
         salvage_.footer_missing = true;
+        Metrics().footer_missing->Add(1);
         exhausted_ = true;
         return false;
       }
@@ -151,7 +184,10 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       }
       ++salvage_.blocks_skipped;
       salvage_.records_lost += block.record_count;
+      Metrics().blocks_skipped->Add(1);
+      Metrics().records_lost->Add(block.record_count);
       salvage_.footer_missing = true;
+      Metrics().footer_missing->Add(1);
       exhausted_ = true;
       return false;
     }
@@ -166,6 +202,8 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       // block boundary.
       ++salvage_.blocks_skipped;
       salvage_.records_lost += block.record_count;
+      Metrics().blocks_skipped->Add(1);
+      Metrics().records_lost->Add(block.record_count);
       continue;
     }
     out->reserve(block.record_count);
@@ -174,6 +212,8 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
     }
     records_read_ += block.record_count;
     salvage_.records_recovered = records_read_;
+    Metrics().blocks_read->Add(1);
+    Metrics().records_read->Add(block.record_count);
     return true;
   }
 }

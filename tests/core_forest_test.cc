@@ -149,9 +149,64 @@ TEST_F(ForestTest, IdsAreSharedAndUnique) {
   }
 }
 
-TEST_F(ForestTest, DeathOnDuplicateDay) {
+TEST_F(ForestTest, DuplicateDayReplayAppends) {
+  // Replaying a batch for days the forest already holds must append, not
+  // crash (the documented late-batch merge policy).
   forest_.AddRecords(records_);
-  EXPECT_DEATH(forest_.AddRecords(records_), "already added");
+  const size_t micros_before = forest_.num_micro_clusters();
+  forest_.AddRecords(records_);
+  EXPECT_EQ(forest_.Days().size(), 7u);
+  EXPECT_EQ(forest_.num_micro_clusters(), 2 * micros_before);
+}
+
+TEST_F(ForestTest, OverlappingBatchesMergeIntoExistingDays) {
+  // Split the month into two batches that both contain day-3 records: the
+  // second batch's day 3 must land as extra micro-clusters on the existing
+  // leaf, with severity mass conserved across the whole replay.
+  const TimeGrid& grid = workload_->gen_config.time_grid;
+  std::vector<AtypicalRecord> first;
+  std::vector<AtypicalRecord> second;
+  bool flip = false;
+  for (const AtypicalRecord& r : records_) {
+    const int day = grid.DayOfWindow(r.window);
+    if (day < 3) {
+      first.push_back(r);
+    } else if (day > 3) {
+      second.push_back(r);
+    } else {
+      ((flip = !flip) ? first : second).push_back(r);
+    }
+  }
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+
+  forest_.AddRecords(first);
+  ASSERT_TRUE(forest_.HasDay(3));
+  const size_t day3_before = forest_.MicrosOfDay(3).size();
+
+  forest_.AddRecords(second);  // pre-fix: CHECK "already added" aborts here
+  EXPECT_EQ(forest_.Days().size(), 7u);
+  EXPECT_GT(forest_.MicrosOfDay(3).size(), day3_before);
+
+  double micro_total = 0.0;
+  size_t micro_count = 0;
+  for (int day : forest_.Days()) {
+    micro_count += forest_.MicrosOfDay(day).size();
+    for (const AtypicalCluster& c : forest_.MicrosOfDay(day)) {
+      micro_total += c.severity();
+    }
+  }
+  EXPECT_EQ(micro_count, forest_.num_micro_clusters());
+  double record_total = 0.0;
+  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  EXPECT_NEAR(micro_total, record_total, 1e-3);
+}
+
+TEST_F(ForestTest, InstallDayStaysStrictOnDuplicates) {
+  // Unlike AddRecords, InstallDay hands over pre-built micros and keeps its
+  // exactly-once contract.
+  forest_.AddRecords(records_);
+  EXPECT_DEATH(forest_.InstallDay(0, {}), "already present");
 }
 
 TEST_F(ForestTest, DeathOnWrongDayRecords) {

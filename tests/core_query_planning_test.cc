@@ -90,6 +90,39 @@ TEST_F(QueryPlanningTest, GuidedIgnoresPlanning) {
             gui_flat.cost.input_micro_clusters);
 }
 
+// An empty or inverted day range covers no days: Run returns the
+// default-constructed QueryResult and plans nothing (see QueryEngine::Run).
+void ExpectDefaultResult(const QueryResult& result) {
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.num_sensors_in_w, 0);
+  EXPECT_DOUBLE_EQ(result.threshold, 0.0);
+  EXPECT_EQ(result.cost.input_micro_clusters, 0u);
+  EXPECT_EQ(result.cost.micro_clusters_in_range, 0u);
+  EXPECT_EQ(result.cost.materialized_inputs, 0u);
+  EXPECT_EQ(result.cost.days_from_materialized, 0);
+  EXPECT_EQ(result.cost.red_zones, 0u);
+  EXPECT_EQ(result.cost.regions_checked, 0u);
+}
+
+TEST_F(QueryPlanningTest, EmptyRangeReturnsDefaultResult) {
+  AnalyticalQuery query = ctx_->WholeAreaQuery(14);
+  query.days = DayRange{};  // default {0, -1}: NumDays() == 0
+  for (const bool planned : {false, true}) {
+    ExpectDefaultResult(Engine(planned).Run(query, QueryStrategy::kAll));
+  }
+}
+
+TEST_F(QueryPlanningTest, InvertedRangeReturnsDefaultResult) {
+  AnalyticalQuery query = ctx_->WholeAreaQuery(14);
+  query.days = DayRange{9, 2};  // NumDays() < 0
+  for (const bool planned : {false, true}) {
+    for (const QueryStrategy strategy :
+         {QueryStrategy::kAll, QueryStrategy::kPrune, QueryStrategy::kGuided}) {
+      ExpectDefaultResult(Engine(planned).Run(query, strategy));
+    }
+  }
+}
+
 TEST_F(QueryPlanningTest, SpatialFilterStillApplies) {
   AnalyticalQuery query = ctx_->WholeAreaQuery(14);
   const GeoRect bounds = query.area;

@@ -163,6 +163,42 @@ TEST(SimilarityDeathTest, MixedKeyModesDie) {
                "key modes");
 }
 
+TEST(SimilarityTest, LargeTotalAccumulationStress) {
+  // Regression for the 1e-9 absolute DCHECK slack that aborted Debug builds
+  // on valid large inputs.  FeatureVector::total_ is an add-order running
+  // sum while CommonSeverity() re-sums per-entry severities, so the two can
+  // disagree by accumulated rounding.  Construct the worst case cheaply: a
+  // 2^53 entry (ulp = 2) at key 0 absorbs every later v < 1 added to
+  // total_, while the key-1 entry accumulates the same adds exactly — the
+  // common/total fraction lands near 1 + 2.5e-9, past the old slack.
+  constexpr double kBig = 9007199254740992.0;  // 2^53
+  AtypicalCluster a;
+  a.spatial.Add(0, kBig);
+  a.temporal.Add(0, kBig);
+  Rng rng(29);
+  for (int i = 0; i < 30'000'000; ++i) {
+    const double v = rng.Uniform(0.5, 1.0);
+    a.spatial.Add(1, v);
+    a.temporal.Add(1, v);
+  }
+  // The partner covers both keys, so all of a's mass is "common" and a's
+  // fraction is the inflated common/total ratio.
+  const AtypicalCluster b = MakeCluster({{0, 1}, {1, 1}}, {{0, 1}, {1, 1}});
+  ASSERT_GT(a.spatial.Get(1) / a.spatial.total(), 1e-9)
+      << "stress input no longer exceeds the old absolute slack";
+  for (const BalanceFunction g :
+       {BalanceFunction::kMax, BalanceFunction::kMin,
+        BalanceFunction::kArithmeticMean, BalanceFunction::kGeometricMean,
+        BalanceFunction::kHarmonicMean}) {
+    const double sim = Similarity(a, b, g);  // pre-fix: DCHECK aborts here
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+  // Clamping pins the inflated fraction to exactly 1, so max-balance scores
+  // a perfect match.
+  EXPECT_DOUBLE_EQ(Similarity(a, b, BalanceFunction::kMax), 1.0);
+}
+
 TEST(SimilarityTest, PaperExampleMorningVsEvening) {
   // Fig. 7: CA and CB share sensors but never congest at the same time of
   // day; their temporal similarity is 0, halving the overall score.
