@@ -56,7 +56,8 @@ int main() {
          StrPrintf("%.0f%%",
                    100.0 * (1.0 - static_cast<double>(
                                       gui.cost.input_micro_clusters) /
-                                      all.cost.input_micro_clusters)),
+                                  static_cast<double>(
+                                      all.cost.input_micro_clusters))),
          StrPrintf("%.3f", pr.recall), StrPrintf("%.3f", pr.precision)});
   }
   bench::EmitTable("ablation_partition", table);

@@ -51,7 +51,8 @@ int main() {
           analytics::EvaluateMass(gui, gt, severities);
       const double pruned =
           100.0 * (1.0 - static_cast<double>(gui.cost.input_micro_clusters) /
-                             all.cost.input_micro_clusters);
+                             static_cast<double>(
+                                 all.cost.input_micro_clusters));
       table.AddRow(
           {StrPrintf("%.1f", cell),
            mode == cube::RedZoneFilterMode::kKeepIntersecting ? "intersect"

@@ -24,13 +24,14 @@ int main() {
     total_readings += meta.ExpectedReadings();
     table.AddRow({meta.name, StrPrintf("%d", meta.num_days),
                   StrPrintf("%d", meta.num_sensors),
-                  StrPrintf("%.1fM", meta.ExpectedReadings() / 1e6),
+                  StrPrintf("%.1fM",
+                            static_cast<double>(meta.ExpectedReadings()) / 1e6),
                   StrPrintf("%.1f%%", fraction * 100.0)});
   }
   bench::EmitTable("fig14_datasets", table);
   std::printf("total readings across %d months: %.1fM "
               "(paper: 428M over 54 GB; scaled per DESIGN.md)\n",
-              months, total_readings / 1e6);
+              months, static_cast<double>(total_readings) / 1e6);
 
   Table params({"parameter", "range", "default"});
   params.AddRow({"severity threshold δs", "2% - 20%", "5%"});

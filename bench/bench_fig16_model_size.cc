@@ -49,11 +49,12 @@ int main() {
     ae_bytes += atypical.size() * sizeof(AtypicalRecord);
 
     table.AddRow({StrPrintf("%d", month + 1),
-                  StrPrintf("%.0f", mc.ByteSize() / 1024.0),
-                  StrPrintf("%.0f", ac_bytes / 1024.0),
-                  StrPrintf("%.0f", oc.ByteSize() / 1024.0),
-                  StrPrintf("%.0f", ae_bytes / 1024.0),
-                  StrPrintf("%.1f%%", 100.0 * ac_bytes / ae_bytes)});
+                  StrPrintf("%.0f", static_cast<double>(mc.ByteSize()) / 1024.0),
+                  StrPrintf("%.0f", static_cast<double>(ac_bytes) / 1024.0),
+                  StrPrintf("%.0f", static_cast<double>(oc.ByteSize()) / 1024.0),
+                  StrPrintf("%.0f", static_cast<double>(ae_bytes) / 1024.0),
+                  StrPrintf("%.1f%%", 100.0 * static_cast<double>(ac_bytes) /
+                                          static_cast<double>(ae_bytes))});
   }
   bench::EmitTable("fig16_model_size", table);
   std::printf(

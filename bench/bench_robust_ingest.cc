@@ -89,7 +89,9 @@ int main() {
                "clusters", "Mrec/s", "overhead"});
   const auto add_row = [&](const char* name, const RunResult& r) {
     const double mrps =
-        r.seconds > 0 ? r.stats.records_in / r.seconds / 1e6 : 0.0;
+        r.seconds > 0
+            ? static_cast<double>(r.stats.records_in) / r.seconds / 1e6
+            : 0.0;
     const double overhead =
         raw.seconds > 0 ? (r.seconds / raw.seconds - 1.0) * 100.0 : 0.0;
     table.AddRow({name, StrPrintf("%llu", (unsigned long long)r.stats.records_in),

@@ -125,7 +125,7 @@ int RunInspect(const FlagParser& flags) {
     const Result<int64_t> scanned =
         reader->ScanAtypical([&](const AtypicalRecord& r) {
           ++atypical;
-          severity += r.severity_minutes;
+          severity += static_cast<double>(r.severity_minutes);
         });
     if (!scanned.ok()) return Fail(scanned.status().ToString());
     std::printf(
@@ -134,7 +134,10 @@ int RunInspect(const FlagParser& flags) {
         path.c_str(), meta.name.c_str(), meta.num_days, meta.first_day,
         meta.num_sensors, meta.time_grid.window_minutes(),
         (long long)*scanned, (long long)atypical,
-        *scanned > 0 ? 100.0 * atypical / *scanned : 0.0, severity);
+        *scanned > 0 ? 100.0 * static_cast<double>(atypical) /
+                           static_cast<double>(*scanned)
+                     : 0.0,
+        severity);
   }
   return 0;
 }

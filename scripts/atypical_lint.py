@@ -1,0 +1,570 @@
+#!/usr/bin/env python3
+"""Project-wide static lint for the atypical codebase (stdlib only).
+
+Machine-enforces the conventions that DESIGN.md §10 documents.  Each check
+has a stable ID; findings print as `file:line: ALxxx name: message`.
+
+Checks
+  AL001 nolint-justification   every NOLINT / NOLINTNEXTLINE carries a
+                               `: <why>` justification after the check list.
+  AL002 metric-name            obs metric names registered in src/ follow the
+                               DESIGN §9 scheme (lowercase dotted path;
+                               latency histograms end in `seconds`, count
+                               histograms do not) and therefore fit
+                               scripts/stats_schema.json.
+  AL003 check-side-effect      no CHECK/DCHECK argument mutates state
+                               (++/--/assignment/mutating calls): DCHECK
+                               operands vanish in Release builds.
+  AL004 raw-sync-primitive     no raw std::mutex / std::lock_guard /
+                               std::condition_variable outside util/sync.h;
+                               use the annotated wrappers.
+  AL005 void-discard           a statement-level `(void)` discard carries a
+                               trailing `// <why>` justification ([[nodiscard]]
+                               escape hatch must be auditable).
+  AL006 bare-assert            no bare `assert(`; use CHECK/DCHECK
+                               (always-on / side-effect-free semantics).
+  AL007 header-self-contained  every header compiles in isolation
+                               (delegates to scripts/check_includes.py; run
+                               with --with-includes, it needs a compiler).
+
+Suppressions reuse the NOLINT convention and must themselves be justified
+(AL001):   ... code ...  // NOLINT(AL003): counter is test-local
+`NOLINTNEXTLINE(ALxxx): why` suppresses on the following line.
+
+Usage:
+  scripts/atypical_lint.py [paths...]     lint the tree (default: src tests
+                                          bench examples)
+  scripts/atypical_lint.py --with-includes   also run AL007
+  scripts/atypical_lint.py --self-test    run the fixture suite in
+                                          scripts/lint_fixtures/
+  scripts/atypical_lint.py --list-discards   print the (void)-discard audit
+                                          list (file:line: justification)
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_DIRS = ["src", "tests", "bench", "examples"]
+SOURCE_GLOBS = ("*.h", "*.cc")
+
+
+@dataclasses.dataclass
+class Finding:
+    path: pathlib.Path
+    line: int  # 1-based
+    check: str  # "AL003"
+    name: str  # "check-side-effect"
+    message: str
+
+    def render(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: {self.check} {self.name}: {self.message}"
+
+
+@dataclasses.dataclass
+class SourceFile:
+    path: pathlib.Path
+    raw: list[str]  # original lines, without trailing newline
+    code: list[str]  # comments and string/char literals blanked out
+    comments: list[str]  # the comment text per line ("" when none)
+
+
+def strip_comments(text: str) -> tuple[list[str], list[str]]:
+    """Returns (code_lines, comment_lines) with literals/comments blanked.
+
+    Comments and string/character literals are replaced by spaces in the code
+    view (so column numbers survive); the comment view holds only comment
+    text.  Handles // and /* */ spanning lines; does not attempt raw strings
+    (the codebase has none).
+    """
+    code_chars: list[str] = []
+    comment_chars: list[str] = []
+    state = "code"  # code | line_comment | block_comment | string | char
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                code_chars.append("  ")
+                comment_chars.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                code_chars.append("  ")
+                comment_chars.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                code_chars.append('"')
+                comment_chars.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                code_chars.append("'")
+                comment_chars.append(" ")
+                i += 1
+                continue
+            code_chars.append(c)
+            comment_chars.append(c if c == "\n" else " ")
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                code_chars.append("\n")
+                comment_chars.append("\n")
+            else:
+                code_chars.append(" ")
+                comment_chars.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                code_chars.append("  ")
+                comment_chars.append("  ")
+                i += 2
+                continue
+            code_chars.append("\n" if c == "\n" else " ")
+            comment_chars.append(c)
+        elif state == "string":
+            if c == "\\":
+                code_chars.append("  ")
+                comment_chars.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                code_chars.append('"')
+            elif c == "\n":  # unterminated (macro continuation); bail to code
+                state = "code"
+                code_chars.append("\n")
+            else:
+                code_chars.append(" ")
+            comment_chars.append("\n" if c == "\n" else " ")
+        elif state == "char":
+            if c == "\\":
+                code_chars.append("  ")
+                comment_chars.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                code_chars.append("'")
+            elif c == "\n":
+                state = "code"
+                code_chars.append("\n")
+            else:
+                code_chars.append(" ")
+            comment_chars.append("\n" if c == "\n" else " ")
+        i += 1
+    code = "".join(code_chars).split("\n")
+    comments = "".join(comment_chars).split("\n")
+    return code, comments
+
+
+def load(path: pathlib.Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    raw = text.split("\n")
+    code, comments = strip_comments(text)
+    # split("\n") on both views yields equal lengths by construction.
+    return SourceFile(path=path, raw=raw, code=code, comments=comments)
+
+
+# --- suppression handling ---------------------------------------------------
+
+NOLINT_RE = re.compile(
+    r"\bNOLINT(?P<next>NEXTLINE)?\b(?:\((?P<checks>[^)]*)\))?")
+
+
+def iter_nolints(comment: str):
+    """Yields (next_line, checks_or_None, justified) for real suppressions.
+
+    A NOLINT token is a suppression when followed by `(checks)`, by `:`, or
+    by nothing (end of comment).  Prose mentions — "a bare NOLINT is fine" —
+    are ignored.  `checks` is None for the suppress-everything bare form.
+    """
+    for m in NOLINT_RE.finditer(comment):
+        tail = comment[m.end():]
+        has_parens = m.group("checks") is not None
+        justified = re.match(r":\s*\S", tail) is not None
+        if has_parens or justified or tail.strip() == "":
+            yield bool(m.group("next")), m.group("checks"), justified
+
+
+def suppressed(sf: SourceFile, line_idx: int, check_id: str) -> bool:
+    """True if `check_id` is NOLINT-suppressed at raw line index `line_idx`."""
+    for idx, need_next in ((line_idx, False), (line_idx - 1, True)):
+        if idx < 0 or idx >= len(sf.comments):
+            continue
+        for next_line, checks, _ in iter_nolints(sf.comments[idx]):
+            if next_line != need_next:
+                continue
+            if checks is None:  # bare NOLINT suppresses everything
+                return True
+            listed = [c.strip() for c in checks.split(",")]
+            if check_id in listed or "*" in listed:
+                return True
+    return False
+
+
+# --- AL001: NOLINT justification -------------------------------------------
+
+def check_nolint_justification(sf: SourceFile) -> list[Finding]:
+    findings = []
+    for i, comment in enumerate(sf.comments):
+        for _, _, justified in iter_nolints(comment):
+            if not justified:
+                findings.append(Finding(
+                    sf.path, i + 1, "AL001", "nolint-justification",
+                    "NOLINT without a `: <why>` justification"))
+    return findings
+
+
+# --- AL002: obs metric naming ----------------------------------------------
+
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def check_metric_names(sf: SourceFile) -> list[Finding]:
+    # The §9 scheme governs production metrics: src/ only.  obs/ unit tests
+    # use deliberately tiny names ("a", "h") to probe registry mechanics.
+    rel = sf.path.relative_to(REPO).as_posix()
+    if not (rel.startswith("src/") or rel.startswith("scripts/lint_fixtures/")):
+        return []
+    if rel.startswith("src/obs/"):  # the registry itself documents examples
+        return []
+    findings = []
+    raw_text = "\n".join(sf.raw)
+    for m in re.finditer(
+            r"Get(Counter|Gauge|Histogram)\(\s*\"([^\"]*)\"", raw_text):
+        kind, name = m.group(1), m.group(2)
+        line = raw_text.count("\n", 0, m.start()) + 1
+        if suppressed(sf, line - 1, "AL002"):
+            continue
+        if not METRIC_NAME_RE.match(name):
+            findings.append(Finding(
+                sf.path, line, "AL002", "metric-name",
+                f"metric name {name!r} is not a lowercase dotted path "
+                "(DESIGN §9)"))
+            continue
+        if kind == "Histogram":
+            latency = True  # default layout is Latency()
+            tail = raw_text[m.end(2) + 1:m.end(2) + 200]
+            arg_tail = tail.split(")")[0]
+            if "Counts" in arg_tail:
+                latency = False
+            if latency and not name.endswith("seconds"):
+                findings.append(Finding(
+                    sf.path, line, "AL002", "metric-name",
+                    f"latency histogram {name!r} must end in 'seconds' "
+                    "(DESIGN §9)"))
+            if not latency and name.endswith("seconds"):
+                findings.append(Finding(
+                    sf.path, line, "AL002", "metric-name",
+                    f"count histogram {name!r} must not end in 'seconds' "
+                    "(DESIGN §9)"))
+    return findings
+
+
+# --- AL003: CHECK/DCHECK side effects ---------------------------------------
+
+CHECK_CALL_RE = re.compile(
+    r"\b(D?CHECK(_EQ|_NE|_LT|_LE|_GT|_GE|_OK)?)\s*\(")
+# Mutating member calls we can name statically.  Anything matching
+# `.name(` / `->name(` with one of these names inside a CHECK is flagged.
+MUTATING_METHODS = {
+    "push_back", "pop_back", "push", "pop", "insert", "emplace",
+    "emplace_back", "erase", "clear", "reset", "release", "assign",
+    "swap", "resize", "swap_remove", "Add", "Increment", "Record",
+    "Set", "Flush", "Next", "NextBlock", "Consume", "Take",
+}
+# `=` that is not part of ==/!=/<=/>=/compound-assign or a [=] capture.
+ASSIGN_RE = re.compile(r"(?<![=!<>+\-*/%&|^\[])=(?![=\]])")
+INCDEC_RE = re.compile(r"\+\+|--")
+
+
+def _check_argument_spans(code_text: str):
+    """Yields (offset, arg_text) for every CHECK/DCHECK argument list."""
+    for m in CHECK_CALL_RE.finditer(code_text):
+        depth = 0
+        start = m.end() - 1
+        for j in range(start, min(len(code_text), start + 4000)):
+            c = code_text[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    yield m.start(), code_text[start + 1:j]
+                    break
+
+
+def check_side_effects(sf: SourceFile) -> list[Finding]:
+    findings = []
+    code_text = "\n".join(sf.code)
+    for offset, arg in _check_argument_spans(code_text):
+        line = code_text.count("\n", 0, offset) + 1
+        if suppressed(sf, line - 1, "AL003"):
+            continue
+        if INCDEC_RE.search(arg):
+            findings.append(Finding(
+                sf.path, line, "AL003", "check-side-effect",
+                "++/-- inside CHECK/DCHECK (operands are not evaluated in "
+                "Release DCHECKs)"))
+            continue
+        if ASSIGN_RE.search(arg):
+            findings.append(Finding(
+                sf.path, line, "AL003", "check-side-effect",
+                "assignment inside CHECK/DCHECK"))
+            continue
+        for call in re.finditer(r"(?:\.|->)\s*(\w+)\s*\(", arg):
+            if call.group(1) in MUTATING_METHODS:
+                findings.append(Finding(
+                    sf.path, line, "AL003", "check-side-effect",
+                    f"call to mutating method '{call.group(1)}' inside "
+                    "CHECK/DCHECK"))
+                break
+    return findings
+
+
+# --- AL004: raw sync primitives ---------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|lock_guard|condition_variable)\b")
+SYNC_EXEMPT = {"src/util/sync.h"}
+
+
+def check_raw_sync(sf: SourceFile) -> list[Finding]:
+    rel = sf.path.relative_to(REPO).as_posix()
+    if rel in SYNC_EXEMPT:
+        return []
+    findings = []
+    for i, code in enumerate(sf.code):
+        m = RAW_SYNC_RE.search(code)
+        if not m:
+            continue
+        if suppressed(sf, i, "AL004"):
+            continue
+        findings.append(Finding(
+            sf.path, i + 1, "AL004", "raw-sync-primitive",
+            f"raw std::{m.group(1)}; use the annotated wrappers in "
+            "util/sync.h"))
+    return findings
+
+
+# --- AL005: (void) discard justification ------------------------------------
+
+VOID_DISCARD_RE = re.compile(r"^\s*\(void\)")
+
+
+def _void_discard_lines(sf: SourceFile):
+    """Yields (index, justification) for statement-level (void) discards."""
+    for i, code in enumerate(sf.code):
+        if not VOID_DISCARD_RE.match(code):
+            continue
+        # Skip continuations: `EXPECT_DEATH(\n    (void)f(), ...)`.
+        prev = sf.code[i - 1].rstrip() if i > 0 else ""
+        if prev.endswith(("(", ",")):
+            continue
+        justification = sf.comments[i].strip()
+        yield i, justification
+
+
+def check_void_discards(sf: SourceFile) -> list[Finding]:
+    findings = []
+    for i, justification in _void_discard_lines(sf):
+        if suppressed(sf, i, "AL005"):
+            continue
+        if not justification:
+            findings.append(Finding(
+                sf.path, i + 1, "AL005", "void-discard",
+                "(void) discard without a trailing `// <why>` justification"))
+    return findings
+
+
+# --- AL006: bare assert ------------------------------------------------------
+
+BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+
+
+def check_bare_assert(sf: SourceFile) -> list[Finding]:
+    findings = []
+    for i, code in enumerate(sf.code):
+        # static_assert is fine; blank it before searching.
+        m = BARE_ASSERT_RE.search(code.replace("static_assert", "STATIC_AST"))
+        if not m:
+            continue
+        if suppressed(sf, i, "AL006"):
+            continue
+        findings.append(Finding(
+            sf.path, i + 1, "AL006", "bare-assert",
+            "bare assert(); use CHECK (always-on) or DCHECK (debug-only)"))
+    return findings
+
+
+# --- AL007: header self-containment (delegated) ------------------------------
+
+def check_headers_self_contained() -> list[Finding]:
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_includes.py")],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        return []
+    detail = (proc.stderr or proc.stdout).strip().splitlines()
+    msg = detail[-1] if detail else "check_includes.py failed"
+    return [Finding(REPO / "src", 0, "AL007", "header-self-contained", msg)]
+
+
+TEXT_CHECKS = [
+    check_nolint_justification,
+    check_metric_names,
+    check_side_effects,
+    check_raw_sync,
+    check_void_discards,
+    check_bare_assert,
+]
+
+
+def lint_paths(paths: list[pathlib.Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    files: list[pathlib.Path] = []
+    for p in paths:
+        if p.is_dir():
+            for glob in SOURCE_GLOBS:
+                files.extend(sorted(p.rglob(glob)))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"error: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    for f in files:
+        sf = load(f)
+        for check in TEXT_CHECKS:
+            findings.extend(check(sf))
+    return findings
+
+
+def list_discards(paths: list[pathlib.Path]) -> int:
+    """Prints the audit list of every statement-level (void) discard."""
+    count = 0
+    files: list[pathlib.Path] = []
+    for p in paths:
+        if p.is_dir():
+            for glob in SOURCE_GLOBS:
+                files.extend(sorted(p.rglob(glob)))
+        else:
+            files.append(p)
+    for f in files:
+        sf = load(f)
+        for i, justification in _void_discard_lines(sf):
+            rel = f.relative_to(REPO)
+            print(f"{rel}:{i + 1}: {justification or '(unjustified)'}")
+            count += 1
+    print(f"{count} (void) discard(s)")
+    return 0
+
+
+# --- self-test over fixture files -------------------------------------------
+
+EXPECT_RE = re.compile(r"EXPECT-LINT(?P<next>-NEXT)?:\s*(?P<ids>AL\d{3}(?:\s*,\s*AL\d{3})*)")
+
+
+def self_test() -> int:
+    """Runs the text checks over scripts/lint_fixtures/*.
+
+    Each fixture declares its expected findings with `// EXPECT-LINT: ALxxx`
+    on the line the finding must anchor to, or `// EXPECT-LINT-NEXT: ALxxx`
+    on the line above (for checks where a trailing comment would change the
+    verdict, e.g. AL005).  A fixture with no EXPECT-LINT lines must lint
+    clean.  The stats schema must also parse (AL002's contract is alignment
+    with it).
+    """
+    fixture_dir = REPO / "scripts" / "lint_fixtures"
+    fixtures = sorted(fixture_dir.glob("*.cc*"))
+    if not fixtures:
+        print(f"error: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 2
+    schema = json.loads((REPO / "scripts" / "stats_schema.json").read_text())
+    for key in ("counters", "gauges", "histograms"):
+        if key not in schema.get("properties", {}):
+            print(f"error: stats_schema.json lost its '{key}' map",
+                  file=sys.stderr)
+            return 2
+    failures = []
+    for fixture in fixtures:
+        sf = load(fixture)
+        got = {}
+        for check in TEXT_CHECKS:
+            for finding in check(sf):
+                got.setdefault(finding.line, set()).add(finding.check)
+        want = {}
+        for i, raw in enumerate(sf.raw):
+            for m in EXPECT_RE.finditer(raw):
+                line = i + 2 if m.group("next") else i + 1
+                for check_id in re.findall(r"AL\d{3}", m.group("ids")):
+                    want.setdefault(line, set()).add(check_id)
+        if got != want:
+            failures.append((fixture, want, got))
+    if failures:
+        for fixture, want, got in failures:
+            rel = fixture.relative_to(REPO)
+            print(f"SELF-TEST FAIL {rel}", file=sys.stderr)
+            for line in sorted(set(want) | set(got)):
+                w = ",".join(sorted(want.get(line, ()))) or "-"
+                g = ",".join(sorted(got.get(line, ()))) or "-"
+                if want.get(line) != got.get(line):
+                    print(f"  line {line}: expected [{w}] got [{g}]",
+                          file=sys.stderr)
+        return 1
+    print(f"self-test ok: {len(fixtures)} fixtures")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--with-includes", action="store_true",
+                        help="also run AL007 (needs a C++ compiler)")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--list-discards", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    paths = [pathlib.Path(p) if pathlib.Path(p).is_absolute()
+             else REPO / p for p in (args.paths or DEFAULT_DIRS)]
+
+    if args.list_discards:
+        return list_discards(paths)
+
+    findings = lint_paths(paths)
+    if args.with_includes:
+        findings.extend(check_headers_self_contained())
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("atypical_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+// Lint fixture: NOLINT-style ALxxx suppressions with justifications silence
+// the project checks — and the justification requirement (AL001) still
+// applies to the suppression comment itself.  Must produce ZERO findings.
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+void Suppressed(int* counter) {
+  // NOLINTNEXTLINE(AL004): interop shim owns the handle; wrapper cannot
+  std::mutex interop_mu;
+
+  DCHECK_GT(*counter, 0);  // NOLINT(AL003): pure read, flagged name below
+  (void)interop_mu;  // fixture only checks registration
+
+  // A bare NOLINT with a justification suppresses everything on its line.
+  std::condition_variable legacy_cv;  // NOLINT: vendored API predates sync.h
+  (void)legacy_cv;  // fixture only checks suppression
+}
+
+}  // namespace atypical

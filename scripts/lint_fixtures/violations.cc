@@ -1,0 +1,43 @@
+// Lint fixture: each convention violation must be caught (see the
+// EXPECT-LINT annotations).  Not compiled; scanned by
+// scripts/atypical_lint.py --self-test.
+#include <cassert>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace atypical {
+
+void Bad(int* counter) {
+  // Metric name not a dotted path.  EXPECT-LINT-NEXT: AL002
+  obs::Registry()->GetCounter("UPPERCASE");
+  // Latency histogram (default layout) not ending in seconds.
+  obs::Registry()->GetHistogram("fixture.latency_ms");  // EXPECT-LINT: AL002
+  // Counts histogram pretending to be a duration.
+  obs::Registry()->GetHistogram("fixture.seconds",  // EXPECT-LINT: AL002
+                                obs::BucketLayout::Counts());
+
+  // Side effects inside assertions.  EXPECT-LINT-NEXT: AL003
+  DCHECK_GT(++*counter, 0);
+  std::vector<int> v;
+  CHECK(v.empty() || v.erase(v.begin()) != v.end());  // EXPECT-LINT: AL003
+  int state = 0;
+  DCHECK((state = 1) == 1);  // EXPECT-LINT: AL003
+
+  // Raw primitives outside util/sync.h.  EXPECT-LINT-NEXT: AL004
+  std::mutex raw_mu;
+  std::lock_guard<std::mutex> lock(raw_mu);  // EXPECT-LINT: AL004
+  // EXPECT-LINT-NEXT: AL004
+  std::condition_variable raw_cv;
+
+  // Unjustified discard.  EXPECT-LINT-NEXT: AL005
+  (void)counter;
+
+  // Bare assert.  EXPECT-LINT-NEXT: AL006
+  assert(counter != nullptr);
+
+  // An unjustified suppression, caught by AL001.
+  state = *counter;  // NOLINT(bugprone-fixture-check) EXPECT-LINT: AL001
+}
+
+}  // namespace atypical

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Clang Static Analyzer pass over every library translation unit:
+#
+#   scripts/run_clang_analyzer.sh [build-dir]
+#
+# Runs `clang-tidy -checks=clang-analyzer-*` (path-sensitive symbolic
+# execution: null derefs, use-after-move, leaked streams, dead stores)
+# against the same compile database the .clang-tidy gate uses.  Kept as a
+# separate pass because the analyzer is an order of magnitude slower than
+# the syntactic checks; CI runs it as its own job.
+#
+# Findings are per-site actionable: fix the code, or — when the analyzer is
+# provably wrong — add `// NOLINT(clang-analyzer-<check>): <why>` at the
+# site (scripts/atypical_lint.py AL001 enforces the justification).
+#
+# Exit status: 0 clean, 1 findings, 2 clang-tidy missing, 3 compile
+# database could not be produced.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-analyzer}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH (the analyzer runs through it)" >&2
+  echo "       install it (apt-get install clang-tidy | brew install llvm)" >&2
+  exit 2
+fi
+
+if ! cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=Debug >/dev/null; then
+  echo "error: cmake configure for the compile database failed" >&2
+  exit 3
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json was not generated" >&2
+  exit 3
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "analyzing ${#sources[@]} translation units (clang-analyzer-*)"
+
+CHECKS='-*,clang-analyzer-*'
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "${BUILD_DIR}" \
+    "-checks=${CHECKS}" -warnings-as-errors='*' "${sources[@]}"
+else
+  status=0
+  for tu in "${sources[@]}"; do
+    clang-tidy --quiet -p "${BUILD_DIR}" \
+      "--checks=${CHECKS}" --warnings-as-errors='*' "${tu}" || status=1
+  done
+  exit "${status}"
+fi

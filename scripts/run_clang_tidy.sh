@@ -7,6 +7,9 @@
 # and lints every src/**/*.cc translation unit; headers are covered through
 # HeaderFilterRegex.  WarningsAsErrors in .clang-tidy makes any finding a
 # nonzero exit, which is what the CI `lint` job gates on.
+#
+# Exit status: 0 clean, 1 findings, 2 clang-tidy missing, 3 compile
+# database could not be produced.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,12 +18,24 @@ BUILD_DIR="${1:-build-tidy}"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "error: clang-tidy not found on PATH" >&2
-  echo "       (apt-get install clang-tidy, or brew install llvm)" >&2
+  echo "       install it (apt-get install clang-tidy | brew install llvm)" >&2
+  echo "       or run scripts/lint_all.sh, which skips this stage when the" >&2
+  echo "       tool is absent" >&2
   exit 2
 fi
 
-cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-  -DCMAKE_BUILD_TYPE=Debug >/dev/null
+if ! cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=Debug >/dev/null; then
+  echo "error: cmake configure for the compile database failed" >&2
+  echo "       (see output above; is a C++ toolchain installed?)" >&2
+  exit 3
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json was not generated" >&2
+  echo "       (the cmake generator in use may not support" >&2
+  echo "       CMAKE_EXPORT_COMPILE_COMMANDS; use Ninja or Makefiles)" >&2
+  exit 3
+fi
 
 mapfile -t sources < <(find src -name '*.cc' | sort)
 echo "linting ${#sources[@]} translation units against .clang-tidy"

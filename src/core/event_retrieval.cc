@@ -122,7 +122,8 @@ AtypicalCluster BuildMicroCluster(const std::vector<AtypicalRecord>& records,
     const int day = grid.DayOfWindow(r.window);
     first_day = std::min(first_day, day);
     last_day = std::max(last_day, day);
-    if (r.true_event != kNoEvent) label_mass[r.true_event] += r.severity_minutes;
+    if (r.true_event != kNoEvent)
+      label_mass[r.true_event] += static_cast<double>(r.severity_minutes);
   }
   cluster.first_day = first_day;
   cluster.last_day = last_day;

@@ -18,7 +18,8 @@ double Dataset::atypical_fraction() const {
 
 double Dataset::total_severity_minutes() const {
   double total = 0.0;
-  for (const Reading& r : readings_) total += r.atypical_minutes;
+  for (const Reading& r : readings_)
+    total += static_cast<double>(r.atypical_minutes);
   return total;
 }
 

@@ -36,7 +36,7 @@ BottomUpCube BottomUpCube::FromReadings(const Dataset& dataset,
     auto bump = [&](CubeLevel level, uint32_t space, int64_t time) {
       CubeCell& cell =
           cube.levels_[static_cast<int>(level)][CellKey(space, time)];
-      cell.severity += r.atypical_minutes;
+      cell.severity += static_cast<double>(r.atypical_minutes);
       cell.count += 1;
       cell.value_minutes += window_minutes;
     };

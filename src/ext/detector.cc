@@ -24,7 +24,8 @@ SpeedProfile SpeedProfile::Learn(const Dataset& dataset,
     if (speeds[s].empty()) continue;
     const size_t k = std::min(
         speeds[s].size() - 1,
-        static_cast<size_t>(reference_percentile * speeds[s].size()));
+        static_cast<size_t>(reference_percentile *
+                            static_cast<double>(speeds[s].size())));
     std::nth_element(speeds[s].begin(), speeds[s].begin() + k,
                      speeds[s].end());
     profile.reference_[s] = speeds[s][k];
@@ -51,14 +52,15 @@ std::vector<AtypicalRecord> DetectAtypical(const Dataset& dataset,
     const double reference = profile.reference_mph(r.sensor);
     if (reference <= 0.0) continue;
     const double threshold = params.congestion_fraction * reference;
-    if (r.speed_mph >= threshold) continue;
+    if (static_cast<double>(r.speed_mph) >= threshold) continue;
     // Depth below the threshold estimates how much of the window was
     // congested: at the threshold nothing, at (or below) the fully-congested
     // speed the whole window.  The fully-congested reference is taken as
     // 40% of the threshold speed.
     const double floor_speed = 0.4 * threshold;
     const double depth =
-        std::clamp((threshold - r.speed_mph) / (threshold - floor_speed),
+        std::clamp((threshold - static_cast<double>(r.speed_mph)) /
+                       (threshold - floor_speed),
                    0.0, 1.0);
     const double minutes =
         std::round(depth * window_minutes * 10.0) / 10.0;
@@ -96,10 +98,12 @@ DetectionQuality EvaluateDetection(
   const int64_t detected_total = q.true_positives + q.false_positives;
   const int64_t actual_total = q.true_positives + q.false_negatives;
   q.precision = detected_total > 0
-                    ? static_cast<double>(q.true_positives) / detected_total
+                    ? static_cast<double>(q.true_positives) /
+                          static_cast<double>(detected_total)
                     : 0.0;
   q.recall = actual_total > 0
-                 ? static_cast<double>(q.true_positives) / actual_total
+                 ? static_cast<double>(q.true_positives) /
+                       static_cast<double>(actual_total)
                  : 1.0;
   return q;
 }

@@ -38,7 +38,7 @@ void CongestionPredictor::Train(const std::vector<AtypicalRecord>& records) {
     std::vector<double>& sums =
         IsWeekend(day) ? sum_weekend_ : sum_weekday_;
     sums[CellIndex(r.sensor, grid_.WindowOfDay(r.window))] +=
-        r.severity_minutes;
+        static_cast<double>(r.severity_minutes);
   }
 }
 
@@ -101,12 +101,16 @@ PredictionQuality CongestionPredictor::Evaluate(
     }
   }
   const size_t total_cells = static_cast<size_t>(num_sensors_) * wpd;
-  q.mean_absolute_error_minutes = abs_error / total_cells;
+  q.mean_absolute_error_minutes =
+      abs_error / static_cast<double>(total_cells);
   q.precision = q.predicted_cells > 0
-                    ? static_cast<double>(hits) / q.predicted_cells
+                    ? static_cast<double>(hits) /
+                          static_cast<double>(q.predicted_cells)
                     : 0.0;
   q.recall =
-      q.actual_cells > 0 ? static_cast<double>(hits) / q.actual_cells : 1.0;
+      q.actual_cells > 0
+          ? static_cast<double>(hits) / static_cast<double>(q.actual_cells)
+          : 1.0;
   return q;
 }
 

@@ -177,7 +177,7 @@ Result<uint64_t> WriteClusterGroups(const std::vector<ClusterGroup>& groups,
   file.write(kClusterMagic, sizeof(kClusterMagic));
   // Safe casts: iostreams write from const char*, the encoder produced
   // uint8_t bytes; byte-type punning is the aliasing-exempt case.
-  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast): byte I/O
   file.write(reinterpret_cast<const char*>(body.bytes().data()),
              static_cast<std::streamsize>(body.bytes().size()));
   uint8_t footer[8];

@@ -32,21 +32,22 @@ struct ClusterGroup {
 };
 
 // Writes groups to `path`; returns bytes written.
-Result<uint64_t> WriteClusterGroups(const std::vector<ClusterGroup>& groups,
-                                    const std::string& path);
+[[nodiscard]] Result<uint64_t> WriteClusterGroups(
+    const std::vector<ClusterGroup>& groups, const std::string& path);
 
 // Reads groups back, validating magic and checksum.
-Result<std::vector<ClusterGroup>> ReadClusterGroups(const std::string& path);
+[[nodiscard]] Result<std::vector<ClusterGroup>> ReadClusterGroups(
+    const std::string& path);
 
 // Persists a forest's day-level micro-clusters (and any materialized weekly
 // and monthly levels) to `path`.
-Result<uint64_t> SaveForest(const AtypicalForest& forest,
+[[nodiscard]] Result<uint64_t> SaveForest(const AtypicalForest& forest,
                             const std::string& path);
 
 // Restores a forest saved with SaveForest.  `network`, `grid` and `params`
 // must match the deployment the forest was built for (the file stores
 // clusters, not the substrate).
-Result<AtypicalForest> LoadForest(const std::string& path,
+[[nodiscard]] Result<AtypicalForest> LoadForest(const std::string& path,
                                   const SensorNetwork* network,
                                   const TimeGrid& grid,
                                   const ForestParams& params);

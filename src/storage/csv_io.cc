@@ -13,7 +13,9 @@ Status WriteReadingsCsv(const Dataset& dataset, const std::string& path) {
   file << "sensor,window,speed_mph,occupancy,atypical_minutes\n";
   for (const Reading& r : dataset.readings()) {
     file << StrPrintf("%u,%u,%.2f,%.3f,%.1f\n", r.sensor, r.window,
-                      r.speed_mph, r.occupancy, r.atypical_minutes);
+                      static_cast<double>(r.speed_mph),
+                      static_cast<double>(r.occupancy),
+                      static_cast<double>(r.atypical_minutes));
   }
   if (!file) return IoError("short write: " + path);
   return Status::Ok();
@@ -25,7 +27,8 @@ Status WriteAtypicalCsv(const std::vector<AtypicalRecord>& records,
   if (!file) return IoError("cannot open for writing: " + path);
   file << "sensor,window,severity_minutes\n";
   for (const AtypicalRecord& r : records) {
-    file << StrPrintf("%u,%u,%.1f\n", r.sensor, r.window, r.severity_minutes);
+    file << StrPrintf("%u,%u,%.1f\n", r.sensor, r.window,
+                      static_cast<double>(r.severity_minutes));
   }
   if (!file) return IoError("short write: " + path);
   return Status::Ok();

@@ -13,15 +13,17 @@ namespace atypical {
 namespace storage {
 
 // Writes "sensor,window,speed_mph,occupancy,atypical_minutes" rows.
-Status WriteReadingsCsv(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status WriteReadingsCsv(const Dataset& dataset,
+                                      const std::string& path);
 
 // Writes "sensor,window,severity_minutes" rows.
-Status WriteAtypicalCsv(const std::vector<AtypicalRecord>& records,
-                        const std::string& path);
+[[nodiscard]] Status WriteAtypicalCsv(
+    const std::vector<AtypicalRecord>& records, const std::string& path);
 
 // Parses atypical records from a CSV with a "sensor,window,severity_minutes"
 // header.  Rejects malformed rows with a DataLoss status naming the line.
-Result<std::vector<AtypicalRecord>> ReadAtypicalCsv(const std::string& path);
+[[nodiscard]] Result<std::vector<AtypicalRecord>> ReadAtypicalCsv(
+    const std::string& path);
 
 }  // namespace storage
 }  // namespace atypical

@@ -53,7 +53,7 @@ Result<DatasetReader> DatasetReader::Open(const std::string& path,
   // uint8_t*; both are byte types, so viewing one as the other is the
   // aliasing-exempt object-representation access.  Same for every
   // reinterpret_cast in this file.
-  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast): byte I/O
   reader.file_->read(reinterpret_cast<char*>(header_buf), sizeof(header_buf));
   if (reader.file_->gcount() != static_cast<std::streamsize>(
                                     sizeof(header_buf))) {

@@ -48,8 +48,8 @@ struct SalvageReport {
 class DatasetReader {
  public:
   // Opens `path` and validates the magic and header.
-  static Result<DatasetReader> Open(const std::string& path,
-                                    const ReaderOptions& options = {});
+  [[nodiscard]] static Result<DatasetReader> Open(
+      const std::string& path, const ReaderOptions& options = {});
 
   DatasetReader(DatasetReader&&) = default;
   DatasetReader& operator=(DatasetReader&&) = default;
@@ -60,15 +60,15 @@ class DatasetReader {
   // when a block was read, false at end of data.  CRC failures and
   // truncation surface as error Status, or are skipped in salvage mode.
   // A moved-from reader returns kFailedPrecondition.
-  Result<bool> NextBlock(std::vector<Reading>* out);
+  [[nodiscard]] Result<bool> NextBlock(std::vector<Reading>* out);
 
   // Reads all remaining blocks and the footer into a Dataset.
-  Result<Dataset> ReadAll();
+  [[nodiscard]] Result<Dataset> ReadAll();
 
   // Streams the whole file, invoking `fn` for every atypical record (the
   // paper's pre-processing step PR: one full scan selecting atypical data).
   // Returns the number of readings scanned.
-  Result<int64_t> ScanAtypical(
+  [[nodiscard]] Result<int64_t> ScanAtypical(
       const std::function<void(const AtypicalRecord&)>& fn);
 
   // Damage tally so far; only ever non-clean() in salvage mode.
@@ -90,13 +90,13 @@ class DatasetReader {
 };
 
 // Convenience wrapper: open + ReadAll.
-Result<Dataset> ReadDataset(const std::string& path);
+[[nodiscard]] Result<Dataset> ReadDataset(const std::string& path);
 
 // Same with explicit options; in salvage mode `report` (if non-null)
 // receives the damage tally alongside the dataset.
-Result<Dataset> ReadDataset(const std::string& path,
-                            const ReaderOptions& options,
-                            SalvageReport* report = nullptr);
+[[nodiscard]] Result<Dataset> ReadDataset(const std::string& path,
+                                          const ReaderOptions& options,
+                                          SalvageReport* report = nullptr);
 
 }  // namespace storage
 }  // namespace atypical

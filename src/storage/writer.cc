@@ -24,7 +24,7 @@ const uint32_t* CrcTable() {
     }
     return true;
   }();
-  (void)initialized;
+  (void)initialized;  // only the initializer's side effect is needed
   return table;
 }
 

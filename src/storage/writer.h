@@ -17,8 +17,9 @@ struct WriterOptions {
 
 // Writes `dataset` to `path` in the block format described in format.h.
 // Returns the number of bytes written.
-Result<uint64_t> WriteDataset(const Dataset& dataset, const std::string& path,
-                              const WriterOptions& options = {});
+[[nodiscard]] Result<uint64_t> WriteDataset(const Dataset& dataset,
+                                            const std::string& path,
+                                            const WriterOptions& options = {});
 
 }  // namespace storage
 }  // namespace atypical

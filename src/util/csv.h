@@ -34,7 +34,7 @@ class Table {
   std::string ToCsvString() const;
 
   // Writes the CSV rendering to `path`.
-  Status WriteCsv(const std::string& path) const;
+  [[nodiscard]] Status WriteCsv(const std::string& path) const;
 
  private:
   std::vector<std::string> header_;

@@ -35,7 +35,12 @@ enum class StatusCode : int8_t {
 const char* StatusCodeName(StatusCode code);
 
 // Value-semantic error descriptor.  An OK status carries no message.
-class Status {
+//
+// The class itself is [[nodiscard]]: any expression returning a Status by
+// value must be consumed.  Intentional discards are written
+// `(void)expr;  // reason` — scripts/atypical_lint.py (AL005) rejects a
+// `(void)` without the trailing justification.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -44,12 +49,12 @@ class Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   // "ok" or "<code_name>: <message>".
-  std::string ToString() const {
+  [[nodiscard]] std::string ToString() const {
     if (ok()) return "ok";
     return std::string(StatusCodeName(code_)) + ": " + message_;
   }
@@ -63,58 +68,62 @@ class Status {
   std::string message_;
 };
 
-inline Status InvalidArgumentError(std::string msg) {
+[[nodiscard]] inline Status InvalidArgumentError(std::string msg) {
   return Status(StatusCode::kInvalidArgument, std::move(msg));
 }
-inline Status NotFoundError(std::string msg) {
+[[nodiscard]] inline Status NotFoundError(std::string msg) {
   return Status(StatusCode::kNotFound, std::move(msg));
 }
-inline Status OutOfRangeError(std::string msg) {
+[[nodiscard]] inline Status OutOfRangeError(std::string msg) {
   return Status(StatusCode::kOutOfRange, std::move(msg));
 }
-inline Status FailedPreconditionError(std::string msg) {
+[[nodiscard]] inline Status FailedPreconditionError(std::string msg) {
   return Status(StatusCode::kFailedPrecondition, std::move(msg));
 }
-inline Status DataLossError(std::string msg) {
+[[nodiscard]] inline Status DataLossError(std::string msg) {
   return Status(StatusCode::kDataLoss, std::move(msg));
 }
-inline Status IoError(std::string msg) {
+[[nodiscard]] inline Status IoError(std::string msg) {
   return Status(StatusCode::kIoError, std::move(msg));
 }
-inline Status UnimplementedError(std::string msg) {
+[[nodiscard]] inline Status UnimplementedError(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
 }
-inline Status InternalError(std::string msg) {
+[[nodiscard]] inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
 }
 
 // A value or an error.  Accessing `value()` on an error result aborts (the
 // caller must check `ok()` first); this mirrors the CHECK discipline used
 // throughout the library.
+//
+// [[nodiscard]] at class scope: dropping a Result drops both the value and
+// the error, so every return must be bound or explicitly `(void)`-discarded
+// with a justification (enforced by scripts/atypical_lint.py AL005).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : state_(std::move(value)) {}
   Result(Status status) : state_(std::move(status)) {}
 
-  bool ok() const { return std::holds_alternative<T>(state_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
 
-  const Status& status() const {
+  [[nodiscard]] const Status& status() const {
     static const Status kOkStatus;
     if (ok()) return kOkStatus;
     return std::get<Status>(state_);
   }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     AbortIfError();
     return std::get<T>(state_);
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     AbortIfError();
     return std::get<T>(state_);
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     AbortIfError();
     return std::move(std::get<T>(state_));
   }

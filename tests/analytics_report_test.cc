@@ -34,7 +34,8 @@ TEST(BuildContextTest, BuildsAConsistentStack) {
   // Cube total equals the records' total severity.
   double record_mass = 0.0;
   for (const auto& month : ctx->monthly_atypical) {
-    for (const auto& r : month) record_mass += r.severity_minutes;
+    for (const auto& r : month)
+      record_mass += static_cast<double>(r.severity_minutes);
   }
   std::vector<RegionId> all;
   for (RegionId r = 0; r < static_cast<RegionId>(ctx->regions().num_regions());

@@ -166,7 +166,8 @@ TEST_F(EventRetrievalTest, SeverityInvariantOnGeneratedData) {
     cluster_total += c.severity();
   }
   double record_total = 0.0;
-  for (const AtypicalRecord& r : records) record_total += r.severity_minutes;
+  for (const AtypicalRecord& r : records)
+    record_total += static_cast<double>(r.severity_minutes);
   EXPECT_NEAR(cluster_total, record_total, 1e-3);
 }
 

@@ -42,7 +42,8 @@ TEST_F(ForestTest, MicroSeverityMatchesRecordMass) {
     }
   }
   double record_total = 0.0;
-  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  for (const AtypicalRecord& r : records_)
+    record_total += static_cast<double>(r.severity_minutes);
   EXPECT_NEAR(micro_total, record_total, 1e-3);
 }
 
@@ -83,7 +84,8 @@ TEST_F(ForestTest, MaterializeWeeksBuildsMacros) {
     EXPECT_TRUE(c.key_mode == TemporalKeyMode::kTimeOfDay);
   }
   double record_total = 0.0;
-  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  for (const AtypicalRecord& r : records_)
+    record_total += static_cast<double>(r.severity_minutes);
   EXPECT_NEAR(macro_total, record_total, 1e-3);
   // Integration happened: fewer macros than micros.
   EXPECT_LT(macros.size(), forest_.num_micro_clusters());
@@ -198,7 +200,8 @@ TEST_F(ForestTest, OverlappingBatchesMergeIntoExistingDays) {
   }
   EXPECT_EQ(micro_count, forest_.num_micro_clusters());
   double record_total = 0.0;
-  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  for (const AtypicalRecord& r : records_)
+    record_total += static_cast<double>(r.severity_minutes);
   EXPECT_NEAR(micro_total, record_total, 1e-3);
 }
 

@@ -47,7 +47,8 @@ TEST_F(PipelinePropertyTest, IntegrationIsIdempotent) {
 TEST_F(PipelinePropertyTest, SeverityConservedThroughPipeline) {
   // records -> micros -> integration never create or lose severity mass.
   double record_mass = 0.0;
-  for (const AtypicalRecord& r : records_) record_mass += r.severity_minutes;
+  for (const AtypicalRecord& r : records_)
+    record_mass += static_cast<double>(r.severity_minutes);
 
   ClusterIdGenerator ids(1);
   std::vector<AtypicalCluster> micros = RetrieveMicroClusters(

@@ -27,7 +27,8 @@ TEST_F(CubeTest, TotalSeverityConserved) {
   const BottomUpCube cube = BottomUpCube::FromAtypical(records_, regions(),
                                                        grid_);
   double record_total = 0.0;
-  for (const AtypicalRecord& r : records_) record_total += r.severity_minutes;
+  for (const AtypicalRecord& r : records_)
+    record_total += static_cast<double>(r.severity_minutes);
   std::vector<RegionId> all_regions;
   for (RegionId r = 0; r < static_cast<RegionId>(regions().num_regions());
        ++r) {
@@ -105,7 +106,8 @@ TEST_F(CubeTest, RegionDayMatchesBruteForce) {
   std::map<RegionId, double> per_region;
   for (const AtypicalRecord& r : records_) {
     if (grid_.DayOfWindow(r.window) == 2) {
-      per_region[regions().RegionOfSensor(r.sensor)] += r.severity_minutes;
+      per_region[regions().RegionOfSensor(r.sensor)] +=
+          static_cast<double>(r.severity_minutes);
     }
   }
   for (const auto& [region, severity] : per_region) {

@@ -75,7 +75,8 @@ TEST_F(CorroborationTest, GeneratedEventsSurviveMostly) {
   CorroborationStats stats;
   FilterTrustworthy(records, *workload_->sensors, grid_,
                     CorroborationParams{}, &stats);
-  EXPECT_GT(static_cast<double>(stats.kept_records) / stats.input_records,
+  EXPECT_GT(static_cast<double>(stats.kept_records) /
+                static_cast<double>(stats.input_records),
             0.6);
 }
 

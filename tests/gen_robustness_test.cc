@@ -49,10 +49,10 @@ TEST(GenRobustnessTest, FlickerIncreasesFragmentationNotMass) {
   double calm_mass = 0.0;
   double flicker_mass = 0.0;
   for (const auto& r : gen_calm.GenerateMonthAtypical(0)) {
-    calm_mass += r.severity_minutes;
+    calm_mass += static_cast<double>(r.severity_minutes);
   }
   for (const auto& r : gen_flicker.GenerateMonthAtypical(0)) {
-    flicker_mass += r.severity_minutes;
+    flicker_mass += static_cast<double>(r.severity_minutes);
   }
   EXPECT_LT(flicker_mass, calm_mass);
   EXPECT_GT(flicker_mass, 0.3 * calm_mass);

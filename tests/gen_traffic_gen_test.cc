@@ -63,18 +63,18 @@ TEST_F(TrafficGenTest, AtypicalReadingsAreLabeledAndSlow) {
       EXPECT_NE(r.true_event, kNoEvent);
       EXPECT_LE(r.atypical_minutes,
                 static_cast<float>(ds.meta().time_grid.window_minutes()));
-      atypical_speed_sum += r.speed_mph;
+      atypical_speed_sum += static_cast<double>(r.speed_mph);
       ++atypical_count;
     } else {
       EXPECT_EQ(r.true_event, kNoEvent);
-      normal_speed_sum += r.speed_mph;
+      normal_speed_sum += static_cast<double>(r.speed_mph);
       ++normal_count;
     }
   }
   ASSERT_GT(atypical_count, 0);
   ASSERT_GT(normal_count, 0);
-  EXPECT_LT(atypical_speed_sum / atypical_count,
-            normal_speed_sum / normal_count - 10.0);
+  EXPECT_LT(atypical_speed_sum / static_cast<double>(atypical_count),
+            normal_speed_sum / static_cast<double>(normal_count) - 10.0);
 }
 
 TEST_F(TrafficGenTest, GenerateMonthAtypicalMatchesFullExtraction) {

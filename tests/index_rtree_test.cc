@@ -131,7 +131,8 @@ TEST_F(RTreeTest, PartitionDrivesTheCubeAndRedZones) {
   const cube::BottomUpCube severity_cube =
       cube::BottomUpCube::FromAtypical(records, partition, grid);
   double total = 0.0;
-  for (const AtypicalRecord& r : records) total += r.severity_minutes;
+  for (const AtypicalRecord& r : records)
+    total += static_cast<double>(r.severity_minutes);
   std::vector<RegionId> all;
   for (RegionId r = 0; r < static_cast<RegionId>(partition.num_regions());
        ++r) {

@@ -35,11 +35,11 @@ class EndToEndTest : public ::testing::Test {
           storage::DatasetReader::Open(path);
       CHECK_OK(reader.status());
       std::vector<AtypicalRecord> atypical;
-      CHECK_OK(reader
-                   ->ScanAtypical([&](const AtypicalRecord& r) {
-                     atypical.push_back(r);
-                   })
-                   .status());
+      const Result<int64_t> scanned =
+          reader->ScanAtypical([&](const AtypicalRecord& r) {
+            atypical.push_back(r);
+          });
+      CHECK_OK(scanned.status());
       forest_->AddRecords(atypical);
       cube_->MergeFrom(cube::BottomUpCube::FromAtypical(
           atypical, *workload_->regions, grid));

@@ -96,7 +96,7 @@ TEST(ObsTransparencyTest, PipelineLeavesExpectedCounters) {
 #else  // !ATYPICAL_STATS_ENABLED
 
 TEST(ObsTransparencyTest, RegistryStaysEmptyWithoutStats) {
-  (void)RunPipeline(23);
+  (void)RunPipeline(23);  // warm-up: only the registry writes matter
   const obs::StatsSnapshot snapshot = obs::Registry()->Snapshot();
   EXPECT_TRUE(snapshot.empty());
   EXPECT_EQ(snapshot.ToJson(),

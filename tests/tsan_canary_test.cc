@@ -78,7 +78,7 @@ int RunParent(const char* self) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
+  (void)argc;  // no flags; gtest-free main keeps the canary minimal
   // ctest may invoke us through a relative path; /proc/self/exe is the
   // reliable re-exec target on Linux.
   char self[4096];

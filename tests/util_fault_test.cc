@@ -181,7 +181,8 @@ TEST(FaultPlanTest, CorruptRecordsCyclesAllMalformationKinds) {
       ++nan_severity;
     } else if (r.severity_minutes < 0.0f) {
       ++negative;
-    } else if (r.severity_minutes > grid.window_minutes()) {
+    } else if (r.severity_minutes >
+               static_cast<float>(grid.window_minutes())) {
       ++excess;
     }
   }

@@ -71,7 +71,7 @@ TEST(FlagParserTest, PositionalAfterFlagsIsError) {
 
 TEST(FlagParserTest, UnreadFlagsDetected) {
   const FlagParser flags = Parse({"--used=1", "--typo=2"});
-  (void)flags.GetInt("used", 0);
+  (void)flags.GetInt("used", 0);  // marks the flag consumed
   EXPECT_EQ(flags.UnreadFlags(), std::vector<std::string>{"typo"});
 }
 

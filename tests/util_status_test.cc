@@ -2,8 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
 namespace atypical {
 namespace {
+
+// The no-exceptions contract leans on moves being cheap and available; pin
+// that down at compile time alongside the [[nodiscard]] markings.
+static_assert(std::is_move_constructible_v<Status>);
+static_assert(std::is_move_assignable_v<Status>);
+static_assert(std::is_move_constructible_v<Result<std::string>>);
+static_assert(std::is_move_assignable_v<Result<std::string>>);
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;
@@ -47,6 +62,22 @@ TEST(StatusCodeNameTest, AllCodesNamed) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "io_error");
 }
 
+TEST(StatusCodeNameTest, OutOfEnumValueIsUnknown) {
+  // A StatusCode deserialized from a corrupt or future source must not read
+  // past the name table; it degrades to "unknown".
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(99)), "unknown");
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(-1)), "unknown");
+  const Status s(static_cast<StatusCode>(42), "from the future");
+  EXPECT_EQ(s.ToString(), "unknown: from the future");
+}
+
+TEST(StatusTest, MoveConstructionTransfersCodeAndMessage) {
+  Status src = DataLossError("block 7 torn");
+  const Status dst = std::move(src);
+  EXPECT_EQ(dst.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(dst.message(), "block 7 torn");
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r(42);
   ASSERT_TRUE(r.ok());
@@ -65,6 +96,29 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("payload"));
   const std::string moved = std::move(r).value();
   EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, MoveConstructionTransfersValue) {
+  Result<std::vector<int>> src(std::vector<int>{1, 2, 3});
+  const Result<std::vector<int>> dst = std::move(src);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst.value().size(), 3u);
+}
+
+TEST(ResultTest, MoveConstructionTransfersError) {
+  Result<std::vector<int>> src(NotFoundError("gone"));
+  const Result<std::vector<int>> dst = std::move(src);
+  EXPECT_FALSE(dst.ok());
+  EXPECT_EQ(dst.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dst.status().message(), "gone");
+}
+
+TEST(ResultTest, MoveOnlyValueType) {
+  // Result must not require copyability of T.
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  const std::unique_ptr<int> out = std::move(r).value();
+  EXPECT_EQ(*out, 7);
 }
 
 TEST(ResultTest, ArrowOperator) {
@@ -86,6 +140,41 @@ TEST(ReturnIfErrorTest, PropagatesAndPasses) {
   EXPECT_TRUE(FailsWhen(false).ok());
   EXPECT_EQ(FailsWhen(true).code(), StatusCode::kInternal);
   EXPECT_EQ(FailsWhen(true).message(), "inner");
+}
+
+Status CountingStep(int* evaluations, bool fail) {
+  ++*evaluations;
+  return fail ? IoError("step failed") : Status::Ok();
+}
+
+Status RunTwoSteps(int* evaluations, bool fail_first) {
+  ATYPICAL_RETURN_IF_ERROR(CountingStep(evaluations, fail_first));
+  ATYPICAL_RETURN_IF_ERROR(CountingStep(evaluations, false));
+  return Status::Ok();
+}
+
+TEST(ReturnIfErrorTest, EvaluatesExpressionExactlyOnce) {
+  int evaluations = 0;
+  EXPECT_TRUE(RunTwoSteps(&evaluations, false).ok());
+  EXPECT_EQ(evaluations, 2);  // both steps ran, each exactly once
+
+  evaluations = 0;
+  EXPECT_EQ(RunTwoSteps(&evaluations, true).code(), StatusCode::kIoError);
+  EXPECT_EQ(evaluations, 1);  // short-circuits after the failing step
+}
+
+TEST(ReturnIfErrorTest, CheckOkConsumesStatusExpressions) {
+  // CHECK_OK / DCHECK_OK are the macro-level consumers of [[nodiscard]]
+  // Status expressions; passing must be side-effect-transparent.
+  int evaluations = 0;
+  CHECK_OK(CountingStep(&evaluations, false));
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ReturnIfErrorDeathTest, CheckOkDiesWithCodeAndMessage) {
+  int evaluations = 0;
+  EXPECT_DEATH(CHECK_OK(CountingStep(&evaluations, true)),
+               "io_error: step failed");
 }
 
 }  // namespace
