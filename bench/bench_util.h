@@ -8,12 +8,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <sys/stat.h>
 
+#include "obs/snapshot.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "util/csv.h"
+#include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -66,6 +69,40 @@ inline void EmitTable(const std::string& name, const Table& table) {
   } else {
     std::printf("(csv not written: %s)\n", s.ToString().c_str());
   }
+}
+
+// Benches accept the same --stats[=text|json] [--stats-out FILE] contract
+// as atypical_cli, so CI can snapshot their counters (e.g. the similarity
+// pruning counters) with the schema checker.  Returns 0 on success, 2 on a
+// malformed flag value or unwritable --stats-out path; no-op without
+// --stats.
+inline int DumpStatsIfRequested(const FlagParser& flags) {
+  if (!flags.Has("stats")) return 0;
+  const std::string mode = flags.GetString("stats", "text");
+  std::string rendered;
+  const obs::StatsSnapshot snapshot = obs::Registry()->Snapshot();
+  if (mode == "json") {
+    rendered = snapshot.ToJson();
+  } else if (mode == "text" || mode == "true") {  // bare --stats
+    rendered = snapshot.ToText();
+  } else {
+    std::fprintf(stderr, "--stats expects text or json, got: %s\n",
+                 mode.c_str());
+    return 2;
+  }
+  const std::string out_path = flags.GetString("stats-out", "");
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  out << rendered;
+  if (!out) {
+    std::fprintf(stderr, "cannot write --stats-out file: %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace bench

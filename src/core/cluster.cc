@@ -1,23 +1,58 @@
 #include "core/cluster.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace atypical {
 
+FeatureVector::FeatureVector(const FeatureVector& other)
+    : entries_(other.entries_),
+      dirty_(other.dirty_),
+      total_(other.total_),
+      sig_(other.sig_),
+      max_severity_(other.max_severity_) {
+  if (other.sketch_ != nullptr) {
+    sketch_ = std::make_unique<std::array<double, kSignatureBuckets>>(
+        *other.sketch_);
+  }
+}
+
+FeatureVector& FeatureVector::operator=(const FeatureVector& other) {
+  if (this == &other) return *this;
+  entries_ = other.entries_;
+  dirty_ = other.dirty_;
+  total_ = other.total_;
+  sig_ = other.sig_;
+  max_severity_ = other.max_severity_;
+  sketch_.reset();
+  if (other.sketch_ != nullptr) {
+    sketch_ = std::make_unique<std::array<double, kSignatureBuckets>>(
+        *other.sketch_);
+  }
+  return *this;
+}
+
 void FeatureVector::Add(uint32_t key, double severity) {
   CHECK_GE(severity, 0.0);
   if (severity == 0.0) return;
+  sig_.min_key = std::min(sig_.min_key, key);
+  sig_.max_key = std::max(sig_.max_key, key);
+  const uint32_t bucket = Signature::BucketOf(key);
+  sig_.bucket_bits[bucket >> 6] |= uint64_t{1} << (bucket & 63);
+  if (sketch_ != nullptr) (*sketch_)[bucket] += severity;
   // Fast path: appending in key order keeps the vector clean.
   if (!dirty_ && !entries_.empty() && entries_.back().key == key) {
     entries_.back().severity += severity;
+    max_severity_ = std::max(max_severity_, entries_.back().severity);
   } else if (!dirty_ && (entries_.empty() || entries_.back().key < key)) {
     entries_.push_back(Entry{key, severity});
+    max_severity_ = std::max(max_severity_, severity);
   } else {
     entries_.push_back(Entry{key, severity});
-    dirty_ = true;
+    dirty_ = true;  // max_severity_ goes stale too; Compact() re-derives it
   }
   total_ += severity;
 }
@@ -35,7 +70,36 @@ void FeatureVector::Compact() const {
     }
   }
   entries_.resize(out);
+  max_severity_ = 0.0;
+  for (const Entry& e : entries_) {
+    max_severity_ = std::max(max_severity_, e.severity);
+  }
   dirty_ = false;
+}
+
+size_t FeatureVector::CountKeysInRange(uint32_t lo, uint32_t hi) const {
+  if (lo > hi) return 0;
+  Compact();
+  const auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const Entry& e, uint32_t k) { return e.key < k; });
+  const auto last = std::upper_bound(
+      first, entries_.end(), hi,
+      [](uint32_t k, const Entry& e) { return k < e.key; });
+  return static_cast<size_t>(last - first);
+}
+
+const std::array<double, FeatureVector::kSignatureBuckets>&
+FeatureVector::severity_sketch() const {
+  if (sketch_ == nullptr) {
+    auto sketch = std::make_unique<std::array<double, kSignatureBuckets>>();
+    sketch->fill(0.0);
+    for (const Entry& e : entries()) {
+      (*sketch)[Signature::BucketOf(e.key)] += e.severity;
+    }
+    sketch_ = std::move(sketch);
+  }
+  return *sketch_;
 }
 
 size_t FeatureVector::size() const {
@@ -59,6 +123,35 @@ const std::vector<FeatureVector::Entry>& FeatureVector::entries() const {
   return entries_;
 }
 
+namespace {
+
+// First index in [lo, entries.size()) whose key is >= `key`, found by
+// doubling steps then a binary search over the final bracket.  O(log gap)
+// instead of O(gap), which is what makes the skewed intersection cheap.
+size_t GallopLowerBound(const std::vector<FeatureVector::Entry>& entries,
+                        size_t lo, uint32_t key) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < entries.size() && entries[hi].key < key) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, entries.size());
+  const auto it = std::lower_bound(
+      entries.begin() + static_cast<ptrdiff_t>(lo),
+      entries.begin() + static_cast<ptrdiff_t>(hi), key,
+      [](const FeatureVector::Entry& e, uint32_t k) { return e.key < k; });
+  return static_cast<size_t>(it - entries.begin());
+}
+
+// When one side is much larger, gallop through it instead of scanning.
+// Both paths visit the common keys in the same ascending order and add the
+// same values in the same order, so the accumulated sums are bit-identical.
+constexpr size_t kGallopSkewFactor = 16;
+
+}  // namespace
+
 std::pair<double, double> FeatureVector::CommonSeverity(
     const FeatureVector& other) const {
   const auto& a = entries();
@@ -67,6 +160,24 @@ std::pair<double, double> FeatureVector::CommonSeverity(
   double theirs = 0.0;
   size_t i = 0;
   size_t j = 0;
+  if (a.size() * kGallopSkewFactor <= b.size() ||
+      b.size() * kGallopSkewFactor <= a.size()) {
+    // Drive from the small side, gallop in the large one.
+    const bool a_small = a.size() <= b.size();
+    const auto& small = a_small ? a : b;
+    const auto& large = a_small ? b : a;
+    size_t pos = 0;
+    for (const Entry& e : small) {
+      pos = GallopLowerBound(large, pos, e.key);
+      if (pos == large.size()) break;
+      if (large[pos].key == e.key) {
+        mine += a_small ? e.severity : large[pos].severity;
+        theirs += a_small ? large[pos].severity : e.severity;
+        ++pos;
+      }
+    }
+    return {mine, theirs};
+  }
   while (i < a.size() && j < b.size()) {
     if (a[i].key < b[j].key) {
       ++i;
@@ -103,25 +214,47 @@ FeatureVector FeatureVector::Merge(const FeatureVector& a,
     }
   }
   out.total_ = a.total_ + b.total_;
+  out.sig_.min_key = std::min(a.sig_.min_key, b.sig_.min_key);
+  out.sig_.max_key = std::max(a.sig_.max_key, b.sig_.max_key);
+  out.sig_.bucket_bits[0] = a.sig_.bucket_bits[0] | b.sig_.bucket_bits[0];
+  out.sig_.bucket_bits[1] = a.sig_.bucket_bits[1] | b.sig_.bucket_bits[1];
+  for (const Entry& e : out.entries_) {
+    out.max_severity_ = std::max(out.max_severity_, e.severity);
+  }
+  if (a.sketch_ != nullptr && b.sketch_ != nullptr) {
+    // Keep fast-path state warm across merges: per-bucket mass is additive.
+    out.sketch_ = std::make_unique<std::array<double, kSignatureBuckets>>();
+    for (uint32_t bucket = 0; bucket < kSignatureBuckets; ++bucket) {
+      (*out.sketch_)[bucket] = (*a.sketch_)[bucket] + (*b.sketch_)[bucket];
+    }
+  }
   return out;
 }
 
 FeatureVector::Entry FeatureVector::Top() const {
   const auto& e = entries();
   CHECK(!e.empty()) << "Top() on empty feature";
-  Entry best = e[0];
-  for (const Entry& entry : e) {
-    if (entry.severity > best.severity) best = entry;
-  }
-  return best;
+  // First-max-wins, like the scan this replaces: max_element keeps the
+  // earliest of equal-severity entries because the comparator is strict.
+  return *std::max_element(e.begin(), e.end(),
+                           [](const Entry& a, const Entry& b) {
+                             return a.severity < b.severity;
+                           });
 }
 
 std::vector<FeatureVector::Entry> FeatureVector::TopEntries(size_t k) const {
   std::vector<Entry> sorted = entries();
-  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
-    if (a.severity != b.severity) return a.severity > b.severity;
-    return a.key < b.key;
-  });
+  const auto mid =
+      sorted.begin() +
+      static_cast<ptrdiff_t>(std::min(k, sorted.size()));
+  // partial_sort suffices: (severity desc, key asc) is a strict total order
+  // on deduped entries, so the first k are unique regardless of algorithm.
+  std::partial_sort(sorted.begin(), mid, sorted.end(),
+                    [](const Entry& a, const Entry& b) {
+                      if (a.severity != b.severity)
+                        return a.severity > b.severity;
+                      return a.key < b.key;
+                    });
   if (sorted.size() > k) sorted.resize(k);
   return sorted;
 }

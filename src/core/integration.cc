@@ -30,6 +30,8 @@ std::vector<AtypicalCluster> IntegrateClusters(
   size_t similarity_checks = 0;
   size_t merges = 0;
   size_t fixpoint_rounds = 0;
+  uint64_t index_compactions = 0;
+  SimilarityScanStats scan_stats;
 
   std::unique_ptr<CandidateIndex> index;
   if (params.use_candidate_index) {
@@ -37,6 +39,7 @@ std::vector<AtypicalCluster> IntegrateClusters(
     for (size_t i = 0; i < n; ++i) {
       index->AddKeys(clusters[i], static_cast<uint32_t>(i));
     }
+    index->SealBaseline();
   }
 
   // Greedy absorb: for each slot in ascending order, repeatedly merge the
@@ -61,17 +64,19 @@ std::vector<AtypicalCluster> IntegrateClusters(
       }
       for (uint32_t j : candidates) {
         ++similarity_checks;
-        if (Similarity(clusters[i], clusters[j], params.g) >
-            params.delta_sim) {
+        if (ExceedsThreshold(clusters[i], clusters[j], params.g,
+                             params.delta_sim, &scan_stats,
+                             params.use_similarity_fast_path)) {
           // Grow the cluster's key set; only j's keys can be new, and the
           // postings for i's existing keys remain valid for the merged
           // cluster, so index j's keys under slot i.
           AtypicalCluster merged = MergeClusters(clusters[i], clusters[j], ids);
-          if (index != nullptr) {
-            index->AddKeys(clusters[j], static_cast<uint32_t>(i));
-          }
           clusters[i] = std::move(merged);
           alive[j] = false;
+          if (index != nullptr) {
+            index->AddKeys(clusters[j], static_cast<uint32_t>(i));
+            if (index->MaybeCompact(alive)) ++index_compactions;
+          }
           ++merges;
           merged_any = true;
           break;  // re-gather candidates for the grown cluster
@@ -99,6 +104,12 @@ std::vector<AtypicalCluster> IntegrateClusters(
       obs::Registry()->GetCounter("integration.merges");
   static obs::Counter* const obs_rounds =
       obs::Registry()->GetCounter("integration.fixpoint_rounds");
+  static obs::Counter* const obs_exact_scans =
+      obs::Registry()->GetCounter("similarity.exact_scans");
+  static obs::Counter* const obs_pruned =
+      obs::Registry()->GetCounter("similarity.pruned");
+  static obs::Counter* const obs_compactions =
+      obs::Registry()->GetCounter("integration.index_compactions");
   static obs::Histogram* const obs_seconds =
       obs::Registry()->GetHistogram("integration.seconds");
   obs_runs->Add(1);
@@ -107,6 +118,9 @@ std::vector<AtypicalCluster> IntegrateClusters(
   obs_checks->Add(similarity_checks);
   obs_merges->Add(merges);
   obs_rounds->Add(fixpoint_rounds);
+  obs_exact_scans->Add(scan_stats.exact_scans);
+  obs_pruned->Add(scan_stats.pruned_scans);
+  obs_compactions->Add(index_compactions);
   obs_seconds->Record(timer.ElapsedSeconds());
 
   if (stats != nullptr) {
@@ -114,6 +128,9 @@ std::vector<AtypicalCluster> IntegrateClusters(
     stats->output_clusters = out.size();
     stats->similarity_checks = similarity_checks;
     stats->merges = merges;
+    stats->exact_scans = scan_stats.exact_scans;
+    stats->pruned_scans = scan_stats.pruned_scans;
+    stats->index_compactions = index_compactions;
     stats->seconds = timer.ElapsedSeconds();
   }
   return out;

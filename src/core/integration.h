@@ -22,6 +22,10 @@ struct IntegrationParams {
   double delta_sim = 0.5;  // paper default
   BalanceFunction g = BalanceFunction::kArithmeticMean;  // paper default
   bool use_candidate_index = true;
+  // Answer Sim > δsim via conservative upper bounds where possible
+  // (ExceedsThreshold, DESIGN §11).  Never changes results — the off
+  // setting exists for benchmarking and the bit-identity property tests.
+  bool use_similarity_fast_path = true;
 };
 
 struct IntegrationStats {
@@ -29,6 +33,12 @@ struct IntegrationStats {
   size_t output_clusters = 0;
   size_t similarity_checks = 0;
   size_t merges = 0;
+  // Scan accounting (SimilarityScanStats): exact_scans + pruned_scans is
+  // the number of CommonSeverity evaluations the pure exact path runs.
+  uint64_t exact_scans = 0;
+  uint64_t pruned_scans = 0;
+  // Candidate-index posting-list compactions (lazy-deletion GC).
+  uint64_t index_compactions = 0;
   double seconds = 0.0;
 };
 

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,19 @@ namespace integration_internal {
 // Inverted index from feature keys to cluster slots, with lazy deletion
 // (dead slots are filtered by the caller's alive[] check).  Spatial and
 // temporal key spaces are disambiguated by a domain tag in the high bits.
+//
+// Merges re-post an absorbed cluster's keys under the winner slot (AddKeys
+// in the drivers' merge block), so posting lists accumulate duplicates of
+// the winner and stale entries for dead slots.  Candidates() filters both,
+// but unbounded growth makes every later scan pay for all history — so the
+// drivers arm a size watermark via SealBaseline() (trigger at 1.5× the
+// just-built baseline: a fully collapsing run re-posts about one baseline's
+// worth, so 2× would never fire within a run) and call MaybeCompact() after
+// each merge; compaction rewrites lists sorted/deduped with dead slots
+// dropped and re-arms at 2× the surviving size, which is amortized O(1) per
+// posting.  Results are unchanged: Candidates() already dedups via
+// last_seen_ and filters alive[].
+//
 // Not thread-safe; the parallel driver only queries it from the
 // coordinating thread.
 class CandidateIndex {
@@ -28,11 +42,41 @@ class CandidateIndex {
 
   void AddKeys(const AtypicalCluster& cluster, uint32_t slot) {
     for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
-      postings_[SpatialKey(e.key)].push_back(slot);
+      Post(SpatialKey(e.key), slot);
     }
     for (const FeatureVector::Entry& e : cluster.temporal.entries()) {
-      postings_[TemporalKey(e.key)].push_back(slot);
+      Post(TemporalKey(e.key), slot);
     }
+  }
+
+  // Arms compaction: trigger when postings grow 50% past the current
+  // (just-built, duplicate-free) size.  Called once after the build loop.
+  void SealBaseline() {
+    compact_threshold_ = std::max<size_t>(
+        total_postings_ + total_postings_ / 2, kMinPostings);
+  }
+
+  // Compacts if the armed watermark is exceeded.  Returns true when a
+  // compaction ran (the drivers count these).
+  bool MaybeCompact(const std::vector<bool>& alive) {
+    if (total_postings_ <= compact_threshold_) return false;
+    size_t kept = 0;
+    for (auto it = postings_.begin(); it != postings_.end();) {
+      std::vector<uint32_t>& slots = it->second;
+      std::sort(slots.begin(), slots.end());
+      slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+      std::erase_if(slots, [&](uint32_t slot) { return !alive[slot]; });
+      if (slots.empty()) {
+        it = postings_.erase(it);
+      } else {
+        slots.shrink_to_fit();
+        kept += slots.size();
+        ++it;
+      }
+    }
+    total_postings_ = kept;
+    compact_threshold_ = std::max<size_t>(2 * kept, kMinPostings);
+    return true;
   }
 
   // Collects slots sharing at least one key with `cluster`, excluding
@@ -62,14 +106,25 @@ class CandidateIndex {
   }
 
  private:
+  // Below this many postings compaction is never worth the rehash walk.
+  static constexpr size_t kMinPostings = 64;
+
   static uint64_t SpatialKey(uint32_t key) { return key; }
   static uint64_t TemporalKey(uint32_t key) {
     return (1ULL << 32) | key;
   }
 
+  void Post(uint64_t key, uint32_t slot) {
+    postings_[key].push_back(slot);
+    ++total_postings_;
+  }
+
   std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
   std::vector<uint64_t> last_seen_;
   uint64_t scan_id_ = 0;
+  size_t total_postings_ = 0;
+  // SIZE_MAX until SealBaseline(): an unsealed index never compacts.
+  size_t compact_threshold_ = std::numeric_limits<size_t>::max();
 };
 
 }  // namespace integration_internal

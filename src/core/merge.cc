@@ -24,8 +24,11 @@ AtypicalCluster MergeClusters(const AtypicalCluster& a,
   out.temporal = FeatureVector::Merge(a.temporal, b.temporal);
   out.key_mode = a.key_mode;
 
+  // Fill via insert: assigning a.micro_ids here would replace the freshly
+  // reserved buffer and force a second allocation for b's ids.
   out.micro_ids.reserve(a.micro_ids.size() + b.micro_ids.size());
-  out.micro_ids = a.micro_ids;
+  out.micro_ids.insert(out.micro_ids.end(), a.micro_ids.begin(),
+                       a.micro_ids.end());
   out.micro_ids.insert(out.micro_ids.end(), b.micro_ids.begin(),
                        b.micro_ids.end());
   std::sort(out.micro_ids.begin(), out.micro_ids.end());

@@ -24,6 +24,7 @@ constexpr size_t kNoMatch = std::numeric_limits<size_t>::max();
 struct ShardResult {
   size_t first_match = kNoMatch;  // position in the candidate list
   size_t checks = 0;
+  SimilarityScanStats scan_stats;
 };
 
 // Scans positions [w·n/T, (w+1)·n/T) of `candidates` and returns the first
@@ -33,7 +34,8 @@ struct ShardResult {
 ShardResult ScanShard(const std::vector<AtypicalCluster>& clusters,
                       const std::vector<uint32_t>& candidates,
                       const AtypicalCluster& pivot, BalanceFunction g,
-                      double delta, int shard, int num_shards) {
+                      double delta, bool fast_path, int shard,
+                      int num_shards) {
   const size_t n = candidates.size();
   const size_t begin = n * static_cast<size_t>(shard) /
                        static_cast<size_t>(num_shards);
@@ -42,7 +44,8 @@ ShardResult ScanShard(const std::vector<AtypicalCluster>& clusters,
   ShardResult result;
   for (size_t pos = begin; pos < end; ++pos) {
     ++result.checks;
-    if (Similarity(pivot, clusters[candidates[pos]], g) > delta) {
+    if (ExceedsThreshold(pivot, clusters[candidates[pos]], g, delta,
+                         &result.scan_stats, fast_path)) {
       result.first_match = pos;
       break;
     }
@@ -83,7 +86,8 @@ class ScanPool {
   size_t FindFirstMatch(const std::vector<AtypicalCluster>& clusters,
                         const std::vector<uint32_t>& candidates,
                         const AtypicalCluster& pivot, BalanceFunction g,
-                        double delta, size_t* checks) {
+                        double delta, bool fast_path, size_t* checks,
+                        SimilarityScanStats* scan_stats) {
     {
       MutexLock lock(&mu_);
       DCHECK_EQ(pending_, 0) << "scan started while one is in flight";
@@ -92,6 +96,7 @@ class ScanPool {
       pivot_ = &pivot;
       g_ = g;
       delta_ = delta;
+      fast_path_ = fast_path;
       pending_ = static_cast<int>(workers_.size());
       ++generation_;
     }
@@ -109,6 +114,7 @@ class ScanPool {
     for (const ShardResult& r : results_) {
       best = std::min(best, r.first_match);
       *checks += r.checks;
+      *scan_stats += r.scan_stats;
     }
     return best;
   }
@@ -122,6 +128,7 @@ class ScanPool {
       const AtypicalCluster* pivot = nullptr;
       BalanceFunction g;
       double delta;
+      bool fast_path;
       {
         MutexLock lock(&mu_);
         while (!shutdown_ && generation_ == seen) work_cv_.Wait(&mu_);
@@ -132,10 +139,11 @@ class ScanPool {
         pivot = pivot_;
         g = g_;
         delta = delta_;
+        fast_path = fast_path_;
       }
       const ShardResult result =
-          ScanShard(*clusters, *candidates, *pivot, g, delta, worker,
-                    static_cast<int>(workers_.size()));
+          ScanShard(*clusters, *candidates, *pivot, g, delta, fast_path,
+                    worker, static_cast<int>(workers_.size()));
       {
         MutexLock lock(&mu_);
         results_[static_cast<size_t>(worker)] = result;
@@ -159,6 +167,7 @@ class ScanPool {
   BalanceFunction g_ ATYPICAL_GUARDED_BY(mu_) =
       BalanceFunction::kArithmeticMean;
   double delta_ ATYPICAL_GUARDED_BY(mu_) = 0.0;
+  bool fast_path_ ATYPICAL_GUARDED_BY(mu_) = true;
   std::vector<ShardResult> results_ ATYPICAL_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
@@ -183,18 +192,27 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
     CHECK(clusters[i].key_mode == clusters[0].key_mode)
         << "all inputs must share one temporal key mode";
   }
-  // Lazy compaction mutates under const; force it now so the workers'
-  // concurrent reads are physically read-only.  Merged clusters are built
-  // compact, so this holds for the whole run.
+  // Lazy compaction (and the lazily-built severity sketch the fast path
+  // reads) mutate under const; force them now so the workers' concurrent
+  // reads are physically read-only.  Merged clusters are built compact, and
+  // FeatureVector::Merge carries the sketch forward when both parents have
+  // one, so readiness holds inductively for the whole run.
   for (const AtypicalCluster& c : clusters) {
-    c.spatial.EnsureCompact();
-    c.temporal.EnsureCompact();
+    if (params.base.use_similarity_fast_path) {
+      c.spatial.EnsureSimilarityReady();
+      c.temporal.EnsureSimilarityReady();
+    } else {
+      c.spatial.EnsureCompact();
+      c.temporal.EnsureCompact();
+    }
   }
 
   std::vector<bool> alive(n, true);
   size_t similarity_checks = 0;
   size_t merges = 0;
   size_t fixpoint_rounds = 0;
+  uint64_t index_compactions = 0;
+  SimilarityScanStats scan_stats;
 
   std::unique_ptr<CandidateIndex> index;
   if (params.base.use_candidate_index) {
@@ -202,6 +220,7 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
     for (size_t i = 0; i < n; ++i) {
       index->AddKeys(clusters[i], static_cast<uint32_t>(i));
     }
+    index->SealBaseline();
   }
 
   ScanPool pool(params.num_threads);
@@ -231,13 +250,17 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
       if (candidates.size() < params.min_shard_candidates) {
         const ShardResult inline_scan =
             ScanShard(clusters, candidates, clusters[i], params.base.g,
-                      params.base.delta_sim, /*shard=*/0, /*num_shards=*/1);
+                      params.base.delta_sim,
+                      params.base.use_similarity_fast_path,
+                      /*shard=*/0, /*num_shards=*/1);
         match_pos = inline_scan.first_match;
         similarity_checks += inline_scan.checks;
+        scan_stats += inline_scan.scan_stats;
       } else {
         match_pos = pool.FindFirstMatch(clusters, candidates, clusters[i],
                                         params.base.g, params.base.delta_sim,
-                                        &similarity_checks);
+                                        params.base.use_similarity_fast_path,
+                                        &similarity_checks, &scan_stats);
       }
 
       if (match_pos != kNoMatch) {
@@ -246,11 +269,12 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
         // postings for i's existing keys remain valid for the merged
         // cluster, so index j's keys under slot i.
         AtypicalCluster merged = MergeClusters(clusters[i], clusters[j], ids);
-        if (index != nullptr) {
-          index->AddKeys(clusters[j], static_cast<uint32_t>(i));
-        }
         clusters[i] = std::move(merged);
         alive[j] = false;
+        if (index != nullptr) {
+          index->AddKeys(clusters[j], static_cast<uint32_t>(i));
+          if (index->MaybeCompact(alive)) ++index_compactions;
+        }
         ++merges;
         merged_any = true;  // re-gather candidates for the grown cluster
       }
@@ -276,6 +300,12 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
       obs::Registry()->GetCounter("integration.parallel.merges");
   static obs::Counter* const obs_rounds =
       obs::Registry()->GetCounter("integration.parallel.fixpoint_rounds");
+  static obs::Counter* const obs_exact_scans =
+      obs::Registry()->GetCounter("similarity.exact_scans");
+  static obs::Counter* const obs_pruned =
+      obs::Registry()->GetCounter("similarity.pruned");
+  static obs::Counter* const obs_compactions =
+      obs::Registry()->GetCounter("integration.index_compactions");
   static obs::Histogram* const obs_seconds =
       obs::Registry()->GetHistogram("integration.parallel.seconds");
   obs_runs->Add(1);
@@ -284,6 +314,9 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
   obs_checks->Add(similarity_checks);
   obs_merges->Add(merges);
   obs_rounds->Add(fixpoint_rounds);
+  obs_exact_scans->Add(scan_stats.exact_scans);
+  obs_pruned->Add(scan_stats.pruned_scans);
+  obs_compactions->Add(index_compactions);
   obs_seconds->Record(timer.ElapsedSeconds());
 
   if (stats != nullptr) {
@@ -291,6 +324,9 @@ std::vector<AtypicalCluster> ParallelIntegrateClusters(
     stats->output_clusters = out.size();
     stats->similarity_checks = similarity_checks;
     stats->merges = merges;
+    stats->exact_scans = scan_stats.exact_scans;
+    stats->pruned_scans = scan_stats.pruned_scans;
+    stats->index_compactions = index_compactions;
     stats->seconds = timer.ElapsedSeconds();
   }
   return out;

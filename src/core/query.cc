@@ -229,6 +229,10 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
       obs::Registry()->GetCounter("query.days_from_materialized");
   static obs::Counter* const obs_clusters_out =
       obs::Registry()->GetCounter("query.clusters_out");
+  static obs::Counter* const obs_exact_scans =
+      obs::Registry()->GetCounter("query.similarity_exact_scans");
+  static obs::Counter* const obs_pruned =
+      obs::Registry()->GetCounter("query.similarity_pruned");
   static obs::Histogram* const obs_seconds =
       obs::Registry()->GetHistogram("query.seconds");
   obs_runs->Add(1);
@@ -238,6 +242,8 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
   obs_materialized_days->Add(
       static_cast<uint64_t>(std::max(0, result.cost.days_from_materialized)));
   obs_clusters_out->Add(result.clusters.size());
+  obs_exact_scans->Add(result.cost.integration.exact_scans);
+  obs_pruned->Add(result.cost.integration.pruned_scans);
   obs_seconds->Record(result.cost.seconds);
   return result;
 }

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "util/random.h"
 
 namespace atypical {
@@ -204,6 +209,281 @@ TEST(FeatureVectorTest, ByteSizeGrowsWithEntries) {
   FeatureVector big;
   for (uint32_t k = 0; k < 100; ++k) big.Add(k, 1.0);
   EXPECT_GT(big.ByteSize(), small.ByteSize());
+}
+
+// ---- adversarial insertion orders vs. a brute-force map reference ----
+//
+// Severities are dyadic rationals (multiples of 0.25), so every partial sum
+// is exact in binary floating point and the comparisons below can demand
+// exact equality regardless of accumulation order.
+
+void ExpectMatchesReference(const FeatureVector& f,
+                            const std::map<uint32_t, double>& reference) {
+  const auto& entries = f.entries();
+  ASSERT_EQ(entries.size(), reference.size());
+  size_t i = 0;
+  double total = 0.0;
+  double max_severity = 0.0;
+  for (const auto& [key, severity] : reference) {
+    EXPECT_EQ(entries[i].key, key);
+    EXPECT_DOUBLE_EQ(entries[i].severity, severity);
+    total += severity;
+    max_severity = std::max(max_severity, severity);
+    ++i;
+  }
+  EXPECT_DOUBLE_EQ(f.total(), total);
+  EXPECT_DOUBLE_EQ(f.max_entry_severity(), max_severity);
+}
+
+TEST(FeatureVectorAdversarialTest, DescendingKeys) {
+  FeatureVector f;
+  std::map<uint32_t, double> reference;
+  for (uint32_t k = 50; k > 0; --k) {
+    const double severity = 0.25 * static_cast<double>(k);
+    f.Add(k, severity);
+    reference[k] += severity;
+  }
+  ExpectMatchesReference(f, reference);
+}
+
+TEST(FeatureVectorAdversarialTest, InterleavedDuplicates) {
+  FeatureVector f;
+  std::map<uint32_t, double> reference;
+  for (int round = 0; round < 8; ++round) {
+    for (uint32_t k : {7u, 3u, 7u, 1u, 3u, 9u, 7u}) {
+      const double severity = 0.25 * static_cast<double>(round + 1);
+      f.Add(k, severity);
+      reference[k] += severity;
+    }
+  }
+  ExpectMatchesReference(f, reference);
+}
+
+TEST(FeatureVectorAdversarialTest, AddAfterReadRedirties) {
+  FeatureVector f;
+  std::map<uint32_t, double> reference;
+  for (uint32_t k : {9u, 2u, 5u}) {
+    f.Add(k, 1.0);
+    reference[k] += 1.0;
+  }
+  (void)f.entries();  // forces compaction
+  EXPECT_DOUBLE_EQ(f.max_entry_severity(), 1.0);
+  for (uint32_t k : {5u, 2u, 11u, 5u}) {  // out of order again
+    f.Add(k, 0.5);
+    reference[k] += 0.5;
+  }
+  ExpectMatchesReference(f, reference);
+}
+
+TEST(FeatureVectorAdversarialTest, RandomOrdersMatchReferenceAndEachOther) {
+  Rng rng(123);
+  std::vector<std::pair<uint32_t, double>> adds;
+  std::map<uint32_t, double> reference;
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.UniformInt(uint64_t{97}));
+    // Dyadic severities: exact sums in any order.
+    const double severity =
+        0.25 * static_cast<double>(1 + rng.UniformInt(uint64_t{16}));
+    adds.emplace_back(key, severity);
+    reference[key] += severity;
+  }
+  FeatureVector in_order;
+  for (const auto& [key, severity] : adds) in_order.Add(key, severity);
+  ExpectMatchesReference(in_order, reference);
+
+  // CommonSeverity against a shuffled copy of itself must report the full
+  // severity mass on both sides.
+  std::vector<std::pair<uint32_t, double>> shuffled = adds;
+  for (size_t i = shuffled.size() - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[rng.UniformInt(i + 1)]);
+  }
+  FeatureVector reordered;
+  for (const auto& [key, severity] : shuffled) reordered.Add(key, severity);
+  ExpectMatchesReference(reordered, reference);
+  const auto [mine, theirs] = in_order.CommonSeverity(reordered);
+  EXPECT_DOUBLE_EQ(mine, in_order.total());
+  EXPECT_DOUBLE_EQ(theirs, reordered.total());
+}
+
+// ---- galloping intersection ----
+
+TEST(FeatureVectorTest, GallopingIntersectionMatchesMergeScan) {
+  // Sizes skewed well past the gallop cutoff: 5 keys vs 4096.  The merge
+  // scan visits common keys in ascending order; so does the gallop, so the
+  // sums must be bit-identical (dyadic severities make them exact anyway).
+  Rng rng(9);
+  FeatureVector small;
+  FeatureVector large;
+  std::map<uint32_t, double> small_ref;
+  std::map<uint32_t, double> large_ref;
+  for (uint32_t k = 0; k < 4096; ++k) {
+    const double severity =
+        0.25 * static_cast<double>(1 + rng.UniformInt(uint64_t{8}));
+    large.Add(k, severity);
+    large_ref[k] += severity;
+  }
+  for (uint32_t k : {3u, 700u, 701u, 4000u, 9999u}) {  // 9999 misses
+    small.Add(k, 0.75);
+    small_ref[k] += 0.75;
+  }
+  double expect_small = 0.0;
+  double expect_large = 0.0;
+  for (const auto& [key, severity] : small_ref) {
+    const auto it = large_ref.find(key);
+    if (it == large_ref.end()) continue;
+    expect_small += severity;
+    expect_large += it->second;
+  }
+  const auto [mine, theirs] = small.CommonSeverity(large);
+  EXPECT_DOUBLE_EQ(mine, expect_small);
+  EXPECT_DOUBLE_EQ(theirs, expect_large);
+  // Symmetric call swaps the roles (and which side gallops).
+  const auto [mine2, theirs2] = large.CommonSeverity(small);
+  EXPECT_DOUBLE_EQ(mine2, expect_large);
+  EXPECT_DOUBLE_EQ(theirs2, expect_small);
+}
+
+TEST(FeatureVectorTest, GallopingHandlesAllLargeKeysBelowSmall) {
+  FeatureVector small;
+  small.Add(100000, 1.0);
+  FeatureVector large;
+  for (uint32_t k = 0; k < 256; ++k) large.Add(k, 1.0);
+  const auto [mine, theirs] = small.CommonSeverity(large);
+  EXPECT_DOUBLE_EQ(mine, 0.0);
+  EXPECT_DOUBLE_EQ(theirs, 0.0);
+}
+
+// ---- similarity fast-path summaries ----
+
+TEST(FeatureVectorTest, SignatureTracksSpanAndBuckets) {
+  FeatureVector f;
+  EXPECT_TRUE(f.signature().empty());
+  f.Add(40, 1.0);
+  f.Add(7, 2.0);
+  const FeatureVector::Signature& sig = f.signature();
+  EXPECT_EQ(sig.min_key, 7u);
+  EXPECT_EQ(sig.max_key, 40u);
+  EXPECT_TRUE(sig.HasBucket(FeatureVector::Signature::BucketOf(7)));
+  EXPECT_TRUE(sig.HasBucket(FeatureVector::Signature::BucketOf(40)));
+}
+
+TEST(FeatureVectorTest, SignatureDisjointOnSeparatedSpans) {
+  FeatureVector a;
+  a.Add(1, 1.0);
+  a.Add(5, 1.0);
+  FeatureVector b;
+  b.Add(100, 1.0);
+  EXPECT_TRUE(a.signature().Disjoint(b.signature()));
+  EXPECT_TRUE(b.signature().Disjoint(a.signature()));
+  b.Add(5, 1.0);  // now they share key 5
+  EXPECT_FALSE(a.signature().Disjoint(b.signature()));
+  EXPECT_TRUE(FeatureVector().signature().Disjoint(a.signature()));
+}
+
+TEST(FeatureVectorTest, CountKeysInRange) {
+  FeatureVector f;
+  for (uint32_t k : {2u, 4u, 8u, 16u, 32u}) f.Add(k, 1.0);
+  EXPECT_EQ(f.CountKeysInRange(0, 100), 5u);
+  EXPECT_EQ(f.CountKeysInRange(4, 16), 3u);
+  EXPECT_EQ(f.CountKeysInRange(5, 7), 0u);
+  EXPECT_EQ(f.CountKeysInRange(8, 8), 1u);
+  EXPECT_EQ(f.CountKeysInRange(33, 2), 0u);  // inverted range
+}
+
+void ExpectSketchMatchesRebuild(const FeatureVector& f) {
+  const auto& sketch = f.severity_sketch();
+  std::array<double, FeatureVector::kSignatureBuckets> expect{};
+  for (const FeatureVector::Entry& e : f.entries()) {
+    expect[FeatureVector::Signature::BucketOf(e.key)] += e.severity;
+  }
+  for (uint32_t b = 0; b < FeatureVector::kSignatureBuckets; ++b) {
+    EXPECT_DOUBLE_EQ(sketch[b], expect[b]) << "bucket " << b;
+  }
+}
+
+TEST(FeatureVectorTest, SeveritySketchMaintainedByAddAndMerge) {
+  FeatureVector a;
+  for (uint32_t k : {1u, 9u, 40u}) a.Add(k, 0.5 * (k + 1));
+  ExpectSketchMatchesRebuild(a);  // lazily built here
+  a.Add(9, 0.25);                 // incremental update on a built sketch
+  a.Add(77, 1.5);
+  ExpectSketchMatchesRebuild(a);
+
+  FeatureVector b;
+  b.Add(9, 2.0);
+  b.Add(500, 0.75);
+  (void)b.severity_sketch();  // builds b's sketch so Merge carries one
+  const FeatureVector merged = FeatureVector::Merge(a, b);
+  // Both parents had sketches, so the merge carries one forward.
+  ExpectSketchMatchesRebuild(merged);
+  const FeatureVector::Signature& sig = merged.signature();
+  EXPECT_EQ(sig.min_key, 1u);
+  EXPECT_EQ(sig.max_key, 500u);
+}
+
+TEST(FeatureVectorTest, CopyPreservesFastPathState) {
+  FeatureVector f;
+  for (uint32_t k : {3u, 11u, 60u}) f.Add(k, 1.25);
+  (void)f.severity_sketch();  // builds the sketch the copy must preserve
+  FeatureVector copy = f;
+  ExpectSketchMatchesRebuild(copy);
+  copy.Add(90, 2.0);  // must not touch the original
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(copy.size(), 4u);
+  ExpectSketchMatchesRebuild(f);
+  ExpectSketchMatchesRebuild(copy);
+  EXPECT_EQ(f.signature().max_key, 60u);
+  EXPECT_EQ(copy.signature().max_key, 90u);
+}
+
+TEST(AtypicalClusterTest, ByteSizeHeaderCountsChildLinks) {
+  // The header must account for every metadata field — notably the
+  // left_child/right_child links the old hardcoded 48 omitted.
+  constexpr uint64_t kExpectedHeader =
+      3 * sizeof(ClusterId) + 2 * sizeof(int) + sizeof(int64_t) +
+      sizeof(EventId) + sizeof(TemporalKeyMode);
+  static_assert(kExpectedHeader > 48, "header must include child links");
+  AtypicalCluster c;
+  EXPECT_EQ(c.ByteSize(), kExpectedHeader);
+  c.micro_ids = {1, 2, 3};
+  EXPECT_EQ(c.ByteSize(), kExpectedHeader + 3 * sizeof(ClusterId));
+  c.spatial.Add(1, 2.0);
+  EXPECT_EQ(c.ByteSize(), kExpectedHeader + 3 * sizeof(ClusterId) +
+                              sizeof(uint32_t) + sizeof(double));
+}
+
+TEST(FeatureVectorTest, TopAndTopEntriesMatchBruteForce) {
+  Rng rng(2024);
+  FeatureVector f;
+  std::vector<FeatureVector::Entry> reference;
+  for (uint32_t k = 0; k < 300; ++k) {
+    const double severity =
+        0.25 * static_cast<double>(1 + rng.UniformInt(uint64_t{40}));
+    f.Add(k, severity);
+    reference.push_back({k, severity});
+  }
+  // Brute-force Top: first entry with the maximum severity.
+  FeatureVector::Entry best = reference[0];
+  for (const auto& e : reference) {
+    if (e.severity > best.severity) best = e;
+  }
+  EXPECT_EQ(f.Top().key, best.key);
+  EXPECT_DOUBLE_EQ(f.Top().severity, best.severity);
+
+  std::sort(reference.begin(), reference.end(),
+            [](const FeatureVector::Entry& a, const FeatureVector::Entry& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              return a.key < b.key;
+            });
+  for (size_t k : {size_t{0}, size_t{1}, size_t{7}, size_t{300}, size_t{999}}) {
+    const auto top = f.TopEntries(k);
+    const size_t expect_n = std::min(k, reference.size());
+    ASSERT_EQ(top.size(), expect_n) << "k=" << k;
+    for (size_t i = 0; i < expect_n; ++i) {
+      EXPECT_EQ(top[i].key, reference[i].key) << "k=" << k << " i=" << i;
+      EXPECT_DOUBLE_EQ(top[i].severity, reference[i].severity);
+    }
+  }
 }
 
 }  // namespace

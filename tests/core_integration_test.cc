@@ -217,6 +217,30 @@ TEST(IntegrationTest, StatsAreConsistent) {
   EXPECT_GE(stats.seconds, 0.0);
 }
 
+TEST(IntegrationTest, ScanAccountingSumsToExactPathScans) {
+  // The fast path's two counters partition the evaluations the pure exact
+  // path scans, so fast.exact + fast.pruned == exact.exact (and the exact
+  // path never prunes).
+  Rng rng(19);
+  ClusterIdGenerator ids(1);
+  const std::vector<AtypicalCluster> micros = RandomMicros(60, 10, rng, &ids);
+  IntegrationParams fast;
+  fast.use_similarity_fast_path = true;
+  IntegrationParams exact;
+  exact.use_similarity_fast_path = false;
+  IntegrationStats fast_stats;
+  IntegrationStats exact_stats;
+  ClusterIdGenerator ids_a(1000);
+  ClusterIdGenerator ids_b(1000);
+  IntegrateClusters(micros, fast, &ids_a, &fast_stats);
+  IntegrateClusters(micros, exact, &ids_b, &exact_stats);
+  EXPECT_EQ(exact_stats.pruned_scans, 0u);
+  EXPECT_EQ(fast_stats.exact_scans + fast_stats.pruned_scans,
+            exact_stats.exact_scans);
+  EXPECT_EQ(fast_stats.output_clusters, exact_stats.output_clusters);
+  EXPECT_EQ(fast_stats.merges, exact_stats.merges);
+}
+
 TEST(IntegrationTest, ThresholdIsStrict) {
   // Similarity exactly equal to δsim must NOT merge ("larger than").
   ClusterIdGenerator ids(1);

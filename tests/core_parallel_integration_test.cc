@@ -67,6 +67,7 @@ struct EquivalenceCase {
   uint64_t seed;
   int num_threads;
   bool use_index;
+  bool use_fast_path;
 };
 
 class ParallelEquivalenceTest
@@ -82,6 +83,7 @@ TEST_P(ParallelEquivalenceTest, BitIdenticalToSerial) {
   base.g = c.g;
   base.delta_sim = c.delta_sim;
   base.use_candidate_index = c.use_index;
+  base.use_similarity_fast_path = c.use_fast_path;
 
   ClusterIdGenerator serial_ids(1000);
   IntegrationStats serial_stats;
@@ -107,6 +109,10 @@ TEST_P(ParallelEquivalenceTest, BitIdenticalToSerial) {
   // early-exit count.
   EXPECT_GE(parallel_stats.similarity_checks,
             serial_stats.similarity_checks);
+  if (!c.use_fast_path) {
+    EXPECT_EQ(serial_stats.pruned_scans, 0u);
+    EXPECT_EQ(parallel_stats.pruned_scans, 0u);
+  }
 }
 
 std::vector<EquivalenceCase> MakeCases() {
@@ -118,8 +124,10 @@ std::vector<EquivalenceCase> MakeCases() {
     for (const double delta_sim : {0.25, 0.5}) {
       for (const int threads : {2, 4}) {
         for (const bool use_index : {true, false}) {
-          cases.push_back(EquivalenceCase{g, delta_sim, seed++, threads,
-                                          use_index});
+          for (const bool use_fast_path : {true, false}) {
+            cases.push_back(EquivalenceCase{g, delta_sim, seed++, threads,
+                                            use_index, use_fast_path});
+          }
         }
       }
     }
