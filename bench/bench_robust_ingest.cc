@@ -61,8 +61,9 @@ RunResult RunGuarded(const Workload& workload, const TimeGrid& grid,
 }  // namespace
 }  // namespace atypical
 
-int main() {
+int main(int argc, char** argv) {
   using namespace atypical;
+  FlagParser flags(argc, argv);
   bench::PrintHeader(
       "Robust ingest overhead",
       "validating guard + reorder buffer vs the raw streaming builder",
@@ -115,5 +116,5 @@ int main() {
   bench::EmitTable("robust_ingest", table);
   std::printf("mangled feed health: %s\n",
               analytics::IngestHealthLine(hostile.stats).c_str());
-  return 0;
+  return bench::DumpStatsIfRequested(flags);
 }

@@ -40,10 +40,11 @@ int main(int argc, char** argv) {
   // Write month 0 to disk, flip one payload bit, then read it back in
   // salvage mode: one block is lost, everything else survives.
   const std::string archive = "/tmp/online_monitoring_archive.atyp";
+  constexpr uint32_t kArchiveBlockRecords = 512;
   {
     const Dataset month0 = workload->generator->GenerateMonth(0);
     storage::WriterOptions writer_options;
-    writer_options.block_records = 512;
+    writer_options.block_records = kArchiveBlockRecords;
     const auto written = storage::WriteDataset(month0, archive, writer_options);
     if (!written.ok()) {
       std::printf("archive write failed: %s\n",
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
                            storage::kBlockHeaderBytes;
     FaultPlan disk_fault(7);
     disk_fault.FlipBit(&bytes, payload,
-                       payload + 512 * storage::kWireRecordBytes);
+                       payload + kArchiveBlockRecords * storage::kWireRecordBytes);
     std::ofstream out(archive, std::ios::binary | std::ios::trunc);
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
@@ -91,6 +92,17 @@ int main(int argc, char** argv) {
   AtypicalForest forest(workload->sensors.get(), grid,
                         analytics::DefaultForestParams());
   cube::BottomUpCube severity_cube;
+
+  // Attribute the archive damage to absolute days so every later query
+  // reports the loss in its completeness annotation instead of silently
+  // shrinking (DESIGN §12: quiet day vs blind day).
+  for (const auto& [day, lost] : analytics::LostRecordsByDay(
+           salvage, recovered->meta(), kArchiveBlockRecords)) {
+    DayProvenance damage;
+    damage.records_lost = lost;
+    damage.blocks_skipped = lost / kArchiveBlockRecords;
+    forest.RecordDayProvenance(day, damage);
+  }
 
   IngestOptions ingest_options;
   ingest_options.policy = IngestPolicy::kBuffer;
@@ -127,6 +139,13 @@ int main(int argc, char** argv) {
     severity_cube.MergeFrom(cube::BottomUpCube::FromAtypical(
         validated, *workload->regions, grid));
 
+    // What the guard absorbed becomes part of the day's provenance: a day
+    // whose records were quarantined is a degraded day, not a quiet one.
+    DayProvenance ingested;
+    ingested.records_stored = guard.stats().accepted;
+    ingested.records_quarantined = guard.stats().quarantined();
+    forest.RecordDayProvenance(day, ingested);
+
     // Rolling weekly query ending today.
     AnalyticalQuery query;
     query.area = workload->sensors->bounds();
@@ -151,6 +170,22 @@ int main(int argc, char** argv) {
   std::printf("\nforest now holds %zu micro-clusters (%s)\n",
               forest.num_micro_clusters(),
               HumanBytes(forest.ByteSize()).c_str());
+
+  // ---- Audit: how trustworthy was the whole run? ----
+  // One query over the full history; its completeness annotation folds in
+  // every day's provenance (archive loss + feed quarantines).
+  {
+    const std::vector<int> days = forest.Days();
+    AnalyticalQuery audit;
+    audit.area = workload->sensors->bounds();
+    audit.days = DayRange{days.front(), days.back()};
+    const QueryEngine engine(workload->sensors.get(), workload->regions.get(),
+                             &forest, &severity_cube,
+                             analytics::DefaultEngineOptions());
+    const QueryResult history = engine.Run(audit, QueryStrategy::kAll);
+    std::printf("full-history audit: %s\n",
+                analytics::CompletenessLine(history.completeness).c_str());
+  }
 
   if (flags.Has("stats")) {
     const std::string mode = flags.GetString("stats", "text");

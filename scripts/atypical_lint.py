@@ -26,6 +26,12 @@ Checks
   AL007 header-self-contained  every header compiles in isolation
                                (delegates to scripts/check_includes.py; run
                                with --with-includes, it needs a compiler).
+  AL008 resilience-metric      every `fault.*` / `degradation.*` metric name
+                               registered in src/ appears in the
+                               `resilienceMetrics` list of
+                               scripts/stats_schema.json, so the resilience
+                               counter set stays closed and discoverable
+                               (DESIGN §12).
 
 Suppressions reuse the NOLINT convention and must themselves be justified
 (AL001):   ... code ...  // NOLINT(AL003): counter is test-local
@@ -281,6 +287,44 @@ def check_metric_names(sf: SourceFile) -> list[Finding]:
     return findings
 
 
+# --- AL008: resilience metric registry ---------------------------------------
+
+RESILIENCE_PREFIXES = ("fault.", "degradation.")
+_resilience_registry: set[str] | None = None
+
+
+def resilience_registry() -> set[str]:
+    global _resilience_registry
+    if _resilience_registry is None:
+        schema = json.loads(
+            (REPO / "scripts" / "stats_schema.json").read_text())
+        _resilience_registry = set(schema.get("resilienceMetrics", []))
+    return _resilience_registry
+
+
+def check_resilience_metrics(sf: SourceFile) -> list[Finding]:
+    # Same scope as AL002: production metrics live in src/.
+    rel = sf.path.relative_to(REPO).as_posix()
+    if not (rel.startswith("src/") or rel.startswith("scripts/lint_fixtures/")):
+        return []
+    findings = []
+    raw_text = "\n".join(sf.raw)
+    for m in re.finditer(
+            r"Get(Counter|Gauge|Histogram)\(\s*\"([^\"]*)\"", raw_text):
+        name = m.group(2)
+        if not name.startswith(RESILIENCE_PREFIXES):
+            continue
+        line = raw_text.count("\n", 0, m.start()) + 1
+        if suppressed(sf, line - 1, "AL008"):
+            continue
+        if name not in resilience_registry():
+            findings.append(Finding(
+                sf.path, line, "AL008", "resilience-metric",
+                f"resilience metric {name!r} is not listed in "
+                "scripts/stats_schema.json resilienceMetrics (DESIGN §12)"))
+    return findings
+
+
 # --- AL003: CHECK/DCHECK side effects ---------------------------------------
 
 CHECK_CALL_RE = re.compile(
@@ -433,6 +477,7 @@ def check_headers_self_contained() -> list[Finding]:
 TEXT_CHECKS = [
     check_nolint_justification,
     check_metric_names,
+    check_resilience_metrics,
     check_side_effects,
     check_raw_sync,
     check_void_discards,
@@ -505,6 +550,10 @@ def self_test() -> int:
             print(f"error: stats_schema.json lost its '{key}' map",
                   file=sys.stderr)
             return 2
+    if not schema.get("resilienceMetrics"):
+        print("error: stats_schema.json lost its 'resilienceMetrics' list "
+              "(AL008's registry)", file=sys.stderr)
+        return 2
     failures = []
     for fixture in fixtures:
         sf = load(fixture)

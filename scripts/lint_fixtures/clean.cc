@@ -16,6 +16,14 @@ void Good() {
       "fixture.batch_size", obs::BucketLayout::Counts());
   accepted->Increment();
 
+  // Resilience metrics listed in stats_schema.json resilienceMetrics (AL008).
+  static obs::Counter* const torn =
+      obs::Registry()->GetCounter("fault.torn_writes");
+  static obs::Counter* const lost =
+      obs::Registry()->GetCounter("degradation.records_lost");
+  torn->Increment();
+  lost->Increment();
+
   // CHECK/DCHECK over pure reads only.
   int n = 3;
   CHECK_GE(n, 0) << "negative batch";

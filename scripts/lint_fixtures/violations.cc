@@ -17,6 +17,12 @@ void Bad(int* counter) {
   obs::Registry()->GetHistogram("fixture.seconds",  // EXPECT-LINT: AL002
                                 obs::BucketLayout::Counts());
 
+  // Resilience metric missing from stats_schema.json resilienceMetrics.
+  // EXPECT-LINT-NEXT: AL008
+  obs::Registry()->GetCounter("fault.unregistered_total");
+  // EXPECT-LINT-NEXT: AL008
+  obs::Registry()->GetCounter("degradation.not_in_registry");
+
   // Side effects inside assertions.  EXPECT-LINT-NEXT: AL003
   DCHECK_GT(++*counter, 0);
   std::vector<int> v;

@@ -90,8 +90,50 @@ std::string SalvageHealthLine(const storage::SalvageReport& report) {
       report.blocks_skipped == 1 ? "" : "s",
       (unsigned long long)report.records_recovered,
       (unsigned long long)report.records_lost);
+  if (report.records_duplicated > 0) {
+    line += StrPrintf(", %llu duplicated",
+                      (unsigned long long)report.records_duplicated);
+  }
   if (report.footer_missing) line += " [footer missing]";
   return line;
+}
+
+std::string CompletenessLine(const DataCompleteness& completeness) {
+  if (completeness.complete()) return "completeness: full";
+  std::string line = StrPrintf(
+      "completeness: %d days in range, %d with data, %d degraded, "
+      "%llu records lost, %llu quarantined",
+      completeness.days_in_range, completeness.days_with_data,
+      completeness.days_degraded,
+      (unsigned long long)completeness.records_lost,
+      (unsigned long long)completeness.records_quarantined);
+  if (!completeness.integration_converged) line += " [integration partial]";
+  return line;
+}
+
+std::map<int, uint64_t> LostRecordsByDay(const storage::SalvageReport& report,
+                                         const DatasetMeta& meta,
+                                         uint32_t block_records) {
+  CHECK_GT(block_records, 0u);
+  CHECK_GT(meta.num_sensors, 0);
+  const uint64_t records_per_day =
+      static_cast<uint64_t>(meta.time_grid.WindowsPerDay()) *
+      static_cast<uint64_t>(meta.num_sensors);
+  std::map<int, uint64_t> lost_by_day;
+  for (const uint64_t block : report.skipped_blocks) {
+    const uint64_t first_record = block * block_records;
+    for (uint64_t i = 0; i < block_records; ++i) {
+      const int day =
+          meta.first_day +
+          static_cast<int>((first_record + i) / records_per_day);
+      // A skipped block past the file's real extent (forged counts, torn
+      // tails) still lands on the meta's last day rather than inventing
+      // days outside the dataset.
+      const int last_day = meta.first_day + meta.num_days - 1;
+      lost_by_day[day <= last_day ? day : last_day] += 1;
+    }
+  }
+  return lost_by_day;
 }
 
 }  // namespace analytics

@@ -5,6 +5,7 @@
 #ifndef ATYPICAL_ANALYTICS_REPORT_H_
 #define ATYPICAL_ANALYTICS_REPORT_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,8 +65,26 @@ std::string IngestHealthLine(const IngestStats& stats);
 
 // One-line summary of a salvage read, e.g.
 //   "salvage: 1 block skipped, 119000 records recovered, 1000 lost"
-// (appends " [footer missing]" when the file was truncated).
+// (appends ", N duplicated" for replayed blocks and " [footer missing]"
+// when the file was truncated).
 std::string SalvageHealthLine(const storage::SalvageReport& report);
+
+// One-line summary of a query's DataCompleteness annotation, e.g.
+//   "completeness: 28 days in range, 27 with data, 1 degraded, 1000 records
+//    lost, 12 quarantined" or "completeness: full".
+std::string CompletenessLine(const DataCompleteness& completeness);
+
+// Attributes a salvage read's skipped blocks to absolute days: day ->
+// upper bound on records lost on that day.  Dataset files are ordered by
+// (window, sensor) and written in fixed `block_records` blocks, so block i
+// covers record indices [i*block_records, (i+1)*block_records) and each
+// index maps to a window, hence a day.  The per-day tallies sum to
+// blocks_skipped * block_records, which may exceed SalvageReport::
+// records_lost when the final (short) block was damaged — a bound, not an
+// exact count, which is the right polarity for feeding DayProvenance.
+std::map<int, uint64_t> LostRecordsByDay(const storage::SalvageReport& report,
+                                         const DatasetMeta& meta,
+                                         uint32_t block_records);
 
 }  // namespace analytics
 }  // namespace atypical

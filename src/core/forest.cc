@@ -65,6 +65,32 @@ void AtypicalForest::AddRecords(const std::vector<AtypicalRecord>& records) {
   }
 }
 
+void AtypicalForest::RecordDayProvenance(int day,
+                                         const DayProvenance& provenance) {
+  DayProvenance& stored = provenance_by_day_[day];
+  const bool was_degraded = stored.degraded();
+  stored.records_stored += provenance.records_stored;
+  stored.records_lost += provenance.records_lost;
+  stored.records_quarantined += provenance.records_quarantined;
+  stored.blocks_skipped += provenance.blocks_skipped;
+  stored.footer_missing = stored.footer_missing || provenance.footer_missing;
+
+  static obs::Counter* const degraded_days =
+      obs::Registry()->GetCounter("degradation.degraded_days");
+  static obs::Counter* const lost =
+      obs::Registry()->GetCounter("degradation.records_lost");
+  static obs::Counter* const quarantined =
+      obs::Registry()->GetCounter("degradation.records_quarantined");
+  if (!was_degraded && stored.degraded()) degraded_days->Add(1);
+  lost->Add(provenance.records_lost);
+  quarantined->Add(provenance.records_quarantined);
+}
+
+const DayProvenance* AtypicalForest::day_provenance(int day) const {
+  const auto it = provenance_by_day_.find(day);
+  return it == provenance_by_day_.end() ? nullptr : &it->second;
+}
+
 std::vector<int> AtypicalForest::Days() const {
   std::vector<int> days;
   days.reserve(micros_by_day_.size());

@@ -24,6 +24,25 @@ struct ForestParams {
   IntegrationParams integration;
 };
 
+// Data-quality provenance of one stored day: what the ingest path knows it
+// lost before the day's records reached the forest.  Populated from the
+// salvage reader's SalvageReport and the ingest guard's quarantine tally;
+// queries over the day surface it as a completeness annotation, so a day
+// with no clusters is distinguishable as "quiet" (no damage recorded) vs
+// "blind" (records were lost on the way in).
+struct DayProvenance {
+  uint64_t records_stored = 0;       // records that reached the forest
+  uint64_t records_lost = 0;         // lost to storage damage (salvage)
+  uint64_t records_quarantined = 0;  // rejected by the ingest guard
+  uint64_t blocks_skipped = 0;       // CRC-failed / implausible blocks
+  bool footer_missing = false;       // source file ended mid-structure
+
+  bool degraded() const {
+    return records_lost > 0 || records_quarantined > 0 || blocks_skipped > 0 ||
+           footer_missing;
+  }
+};
+
 class AtypicalForest {
  public:
   AtypicalForest(const SensorNetwork* network, const TimeGrid& grid,
@@ -82,6 +101,15 @@ class AtypicalForest {
   void InstallWeek(int week, std::vector<AtypicalCluster> macros);
   void InstallMonth(int month, std::vector<AtypicalCluster> macros);
 
+  // ---- degradation provenance ----
+  // Accumulates damage metadata for `day` (fields add up across calls, so
+  // per-batch and per-source tallies compose).  Recording a provenance with
+  // damage bumps the degradation.* obs counters.
+  void RecordDayProvenance(int day, const DayProvenance& provenance);
+  // Damage metadata for `day`, or nullptr when none was ever recorded
+  // (which a query reads as "no known loss").
+  const DayProvenance* day_provenance(int day) const;
+
   size_t num_micro_clusters() const { return num_micros_; }
   uint64_t ByteSize() const;
 
@@ -100,6 +128,7 @@ class AtypicalForest {
   std::map<int, std::vector<AtypicalCluster>> micros_by_day_;
   std::map<int, std::vector<AtypicalCluster>> macros_by_week_;
   std::map<int, std::vector<AtypicalCluster>> macros_by_month_;
+  std::map<int, DayProvenance> provenance_by_day_;
   size_t num_micros_ = 0;
   int month_days_ = 0;
 };

@@ -45,13 +45,24 @@ std::vector<AtypicalCluster> IntegrateClusters(
   // Greedy absorb: for each slot in ascending order, repeatedly merge the
   // lowest-numbered similar cluster into it until none qualifies, then move
   // on.  Every merged result re-scans all alive slots, so the loop ends at
-  // the Algorithm 3 fixpoint ("until no clusters can be merged").
+  // the Algorithm 3 fixpoint ("until no clusters can be merged") — unless a
+  // round/deadline budget trips first, in which case the partition reached
+  // so far is returned as-is (valid, possibly under-merged) and `converged`
+  // reports the truncation.
+  bool converged = true;
   std::vector<uint32_t> candidates;
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < n && converged; ++i) {
     if (!alive[i]) continue;
     bool merged_any = true;
     while (merged_any) {
       merged_any = false;
+      if ((params.max_fixpoint_rounds > 0 &&
+           fixpoint_rounds >= params.max_fixpoint_rounds) ||
+          (params.deadline_seconds > 0.0 &&
+           timer.ElapsedSeconds() >= params.deadline_seconds)) {
+        converged = false;
+        break;
+      }
       ++fixpoint_rounds;
       if (index != nullptr) {
         index->Candidates(clusters[i], static_cast<uint32_t>(i), alive,
@@ -112,7 +123,10 @@ std::vector<AtypicalCluster> IntegrateClusters(
       obs::Registry()->GetCounter("integration.index_compactions");
   static obs::Histogram* const obs_seconds =
       obs::Registry()->GetHistogram("integration.seconds");
+  static obs::Counter* const obs_partial =
+      obs::Registry()->GetCounter("degradation.integration_partial");
   obs_runs->Add(1);
+  if (!converged) obs_partial->Add(1);
   obs_inputs->Add(n);
   obs_outputs->Add(out.size());
   obs_checks->Add(similarity_checks);
@@ -131,6 +145,8 @@ std::vector<AtypicalCluster> IntegrateClusters(
     stats->exact_scans = scan_stats.exact_scans;
     stats->pruned_scans = scan_stats.pruned_scans;
     stats->index_compactions = index_compactions;
+    stats->fixpoint_rounds = fixpoint_rounds;
+    stats->converged = converged;
     stats->seconds = timer.ElapsedSeconds();
   }
   return out;

@@ -26,6 +26,13 @@ struct IntegrationParams {
   // (ExceedsThreshold, DESIGN §11).  Never changes results — the off
   // setting exists for benchmarking and the bit-identity property tests.
   bool use_similarity_fast_path = true;
+  // Degradation guards on the fixpoint loop (0 = unlimited).  When either
+  // budget trips, integration stops merging and returns the partition
+  // reached so far — a clean partial result, not an error.  The outcome is
+  // visible in IntegrationStats::converged and the
+  // degradation.integration_partial counter.
+  uint64_t max_fixpoint_rounds = 0;
+  double deadline_seconds = 0.0;
 };
 
 struct IntegrationStats {
@@ -39,6 +46,11 @@ struct IntegrationStats {
   uint64_t pruned_scans = 0;
   // Candidate-index posting-list compactions (lazy-deletion GC).
   uint64_t index_compactions = 0;
+  uint64_t fixpoint_rounds = 0;
+  // False when a max_fixpoint_rounds / deadline_seconds guard stopped the
+  // loop before the Algorithm 3 fixpoint: the output is a valid partition,
+  // but some mergeable pairs may remain unmerged.
+  bool converged = true;
   double seconds = 0.0;
 };
 

@@ -213,6 +213,20 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
     result.clusters = FilterSignificant(result.clusters, result.threshold);
   }
 
+  // Completeness annotation: fold the forest's per-day provenance over T so
+  // the caller can tell a quiet day from a blind one.
+  DataCompleteness& completeness = result.completeness;
+  completeness.days_in_range = query.days.NumDays();
+  completeness.integration_converged = result.cost.integration.converged;
+  for (int day = query.days.first_day; day <= query.days.last_day; ++day) {
+    if (forest_->HasDay(day)) ++completeness.days_with_data;
+    const DayProvenance* provenance = forest_->day_provenance(day);
+    if (provenance == nullptr || !provenance->degraded()) continue;
+    ++completeness.days_degraded;
+    completeness.records_lost += provenance->records_lost;
+    completeness.records_quarantined += provenance->records_quarantined;
+  }
+
   result.cost.seconds = timer.ElapsedSeconds();
 
   // Publish the run's QueryCost once; the strategies above touch only the
@@ -235,7 +249,10 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
       obs::Registry()->GetCounter("query.similarity_pruned");
   static obs::Histogram* const obs_seconds =
       obs::Registry()->GetHistogram("query.seconds");
+  static obs::Counter* const obs_degraded =
+      obs::Registry()->GetCounter("degradation.degraded_queries");
   obs_runs->Add(1);
+  if (!completeness.complete()) obs_degraded->Add(1);
   obs_inputs->Add(result.cost.input_micro_clusters);
   obs_in_range->Add(result.cost.micro_clusters_in_range);
   obs_materialized->Add(result.cost.materialized_inputs);

@@ -47,6 +47,27 @@ struct QueryCost {
   IntegrationStats integration;
 };
 
+// How much of the queried range the answer actually saw.  Built from the
+// forest's per-day provenance (DayProvenance), it distinguishes a *quiet*
+// day — in range, no data, no damage recorded — from a *blind* day, where
+// the ingest path recorded loss.  An empty result over a degraded range
+// means "we couldn't see", not "nothing happened".
+struct DataCompleteness {
+  int days_in_range = 0;
+  int days_with_data = 0;      // days with stored micro-clusters
+  int days_degraded = 0;       // days whose provenance records damage
+  uint64_t records_lost = 0;   // summed over the range
+  uint64_t records_quarantined = 0;
+  // False when the query's own integration hit its round/deadline budget
+  // (IntegrationStats::converged): clusters may be under-merged.
+  bool integration_converged = true;
+
+  bool complete() const {
+    return days_degraded == 0 && records_lost == 0 &&
+           records_quarantined == 0 && integration_converged;
+  }
+};
+
 struct QueryResult {
   // Integrated macro-clusters (TF keyed by time-of-day).  Without
   // post-checking this is the full integration output; with post-checking
@@ -54,6 +75,9 @@ struct QueryResult {
   std::vector<AtypicalCluster> clusters;
   double threshold = 0.0;
   int num_sensors_in_w = 0;
+  // Data-quality annotation for the answer (degradation contract, DESIGN
+  // §12).  Always populated by Run(), even for empty ranges.
+  DataCompleteness completeness;
   QueryCost cost;
 };
 

@@ -1,0 +1,195 @@
+#include "storage/block_mutator.h"
+
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace atypical {
+namespace storage {
+
+namespace {
+
+constexpr MutationKind kAllKinds[] = {
+    MutationKind::kMagicBit,      MutationKind::kFileHeaderField,
+    MutationKind::kBlockCount,    MutationKind::kBlockCrc,
+    MutationKind::kPayloadBit,    MutationKind::kRecordField,
+    MutationKind::kFooterBit,     MutationKind::kBlockSplice,
+    MutationKind::kBlockDuplicate, MutationKind::kTruncateTail,
+};
+
+bool ChangesLength(MutationKind kind) {
+  return kind == MutationKind::kBlockSplice ||
+         kind == MutationKind::kBlockDuplicate ||
+         kind == MutationKind::kTruncateTail;
+}
+
+bool NeedsBlock(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kBlockCount:
+    case MutationKind::kBlockCrc:
+    case MutationKind::kPayloadBit:
+    case MutationKind::kRecordField:
+    case MutationKind::kBlockSplice:
+    case MutationKind::kBlockDuplicate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kMagicBit:
+      return "magic_bit";
+    case MutationKind::kFileHeaderField:
+      return "file_header_field";
+    case MutationKind::kBlockCount:
+      return "block_count";
+    case MutationKind::kBlockCrc:
+      return "block_crc";
+    case MutationKind::kPayloadBit:
+      return "payload_bit";
+    case MutationKind::kRecordField:
+      return "record_field";
+    case MutationKind::kFooterBit:
+      return "footer_bit";
+    case MutationKind::kBlockSplice:
+      return "block_splice";
+    case MutationKind::kBlockDuplicate:
+      return "block_duplicate";
+    case MutationKind::kTruncateTail:
+      return "truncate_tail";
+  }
+  return "unknown";
+}
+
+std::string DescribeMutations(const std::vector<AppliedMutation>& applied) {
+  std::string out;
+  for (const AppliedMutation& m : applied) {
+    if (!out.empty()) out += ", ";
+    out += StrPrintf("%s@%zu(block=%llu)", MutationKindName(m.kind), m.offset,
+                     (unsigned long long)m.block);
+  }
+  return out;
+}
+
+BlockMutator::BlockMutator(std::vector<uint8_t> pristine)
+    : pristine_(std::move(pristine)) {
+  // Walk the image once, trusting nothing implicitly: a malformed "pristine"
+  // input means the caller's writer is broken, which a CHECK should surface.
+  CHECK_GE(pristine_.size(), sizeof(kMagic) + kFileHeaderBytes + kFooterBytes);
+  CHECK(std::memcmp(pristine_.data(), kMagic, sizeof(kMagic)) == 0);
+  size_t pos = sizeof(kMagic) + kFileHeaderBytes;
+  while (true) {
+    CHECK_LE(pos + kBlockHeaderBytes, pristine_.size());
+    const uint32_t first_word = detail::GetU32(pristine_.data() + pos);
+    if (first_word == kFooterMagic) {
+      CHECK_EQ(pos + kFooterBytes, pristine_.size());
+      footer_offset_ = pos;
+      return;
+    }
+    const BlockHeader header = DecodeBlockHeader(pristine_.data() + pos);
+    CHECK_GT(header.record_count, 0u);
+    BlockSpan span;
+    span.offset = pos;
+    span.record_count = header.record_count;
+    CHECK_LE(pos + span.size(), pristine_.size());
+    blocks_.push_back(span);
+    pos += span.size();
+  }
+}
+
+std::vector<uint8_t> BlockMutator::Mutate(
+    uint64_t seed, int count, std::vector<AppliedMutation>* applied) {
+  CHECK_GT(count, 0);
+  Rng rng(seed);
+  FaultPlan plan(rng.Next64());
+  std::vector<uint8_t> image = pristine_;
+
+  // Draw the mutation set up front: structure-preserving kinds apply in draw
+  // order against pristine offsets; at most one length-changing kind
+  // survives and goes last, so every earlier offset is still meaningful.
+  std::vector<MutationKind> kinds;
+  MutationKind length_kind = MutationKind::kTruncateTail;
+  bool have_length_change = false;
+  for (int i = 0; i < count; ++i) {
+    MutationKind kind;
+    do {
+      kind = kAllKinds[rng.UniformInt(std::size(kAllKinds))];
+    } while ((ChangesLength(kind) && have_length_change) ||
+             (NeedsBlock(kind) && blocks_.empty()));
+    if (ChangesLength(kind)) {
+      have_length_change = true;
+      length_kind = kind;
+    } else {
+      kinds.push_back(kind);
+    }
+  }
+  if (have_length_change) kinds.push_back(length_kind);
+
+  for (const MutationKind kind : kinds) {
+    AppliedMutation m;
+    m.kind = kind;
+    const uint64_t block_index =
+        blocks_.empty() ? 0 : rng.UniformInt(blocks_.size());
+    const BlockSpan* block = blocks_.empty() ? nullptr : &blocks_[block_index];
+    m.block = block_index;
+    switch (kind) {
+      case MutationKind::kMagicBit:
+        m.offset = plan.FlipBit(&image, 0, sizeof(kMagic));
+        break;
+      case MutationKind::kFileHeaderField: {
+        const size_t field = static_cast<size_t>(rng.UniformInt(7));
+        m.offset = sizeof(kMagic) + field * 4;
+        (void)plan.ScrambleU32(&image, m.offset);  // value itself is irrelevant
+        break;
+      }
+      case MutationKind::kBlockCount:
+        m.offset = block->offset;
+        (void)plan.ScrambleU32(&image, m.offset);  // value itself is irrelevant
+        break;
+      case MutationKind::kBlockCrc:
+        m.offset = block->offset + 4;
+        (void)plan.ScrambleU32(&image, m.offset);  // value itself is irrelevant
+        break;
+      case MutationKind::kPayloadBit:
+        m.offset = plan.FlipBit(&image, block->offset + kBlockHeaderBytes,
+                                block->offset + block->size());
+        break;
+      case MutationKind::kRecordField: {
+        const uint64_t record = rng.UniformInt(block->record_count);
+        const size_t field = static_cast<size_t>(rng.UniformInt(7));
+        m.offset = block->offset + kBlockHeaderBytes +
+                   static_cast<size_t>(record) * kWireRecordBytes + field * 4;
+        (void)plan.ScrambleU32(&image, m.offset);  // value itself is irrelevant
+        break;
+      }
+      case MutationKind::kFooterBit:
+        m.offset = plan.FlipBit(&image, footer_offset_,
+                                footer_offset_ + kFooterBytes);
+        break;
+      case MutationKind::kBlockSplice:
+        m.offset = block->offset;
+        FaultPlan::SpliceOut(&image, block->offset, block->size());
+        break;
+      case MutationKind::kBlockDuplicate:
+        m.offset = block->offset;
+        FaultPlan::DuplicateAt(&image, block->offset, block->size());
+        break;
+      case MutationKind::kTruncateTail:
+        m.offset = plan.TruncateTail(&image);
+        break;
+    }
+    if (applied != nullptr) applied->push_back(m);
+  }
+  return image;
+}
+
+}  // namespace storage
+}  // namespace atypical

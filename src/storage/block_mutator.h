@@ -1,0 +1,89 @@
+// Structure-aware mutation engine for the on-disk block format.
+//
+// Random byte fuzzing mostly produces inputs the reader rejects at the first
+// CRC check; the interesting salvage paths (implausible headers, forged
+// counts, replayed blocks, torn tails) need mutations aimed at the format's
+// own structure.  `BlockMutator` parses the geometry of a *pristine* dataset
+// image once — block offsets, record counts, footer position — and then
+// derives damaged variants by composing the format-agnostic primitives of
+// `util/fault.h` against that geometry: scramble a specific header field,
+// flip a payload bit in block 3, splice a whole block out, replay one,
+// truncate mid-structure.
+//
+// Mutations are fully determined by (pristine image, seed, count), so a
+// crashing input is reproducible from two integers — that is the corpus
+// format of fuzz/corpus/regressions.txt.
+#ifndef ATYPICAL_STORAGE_BLOCK_MUTATOR_H_
+#define ATYPICAL_STORAGE_BLOCK_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/format.h"
+#include "util/fault.h"
+
+namespace atypical {
+namespace storage {
+
+enum class MutationKind : uint8_t {
+  kMagicBit,          // flip a bit in the 8-byte magic
+  kFileHeaderField,   // scramble one u32 field of the file header
+  kBlockCount,        // scramble a block header's record_count
+  kBlockCrc,          // scramble a block header's crc32
+  kPayloadBit,        // flip one bit somewhere in a block payload
+  kRecordField,       // scramble one u32-aligned field of one record
+  kFooterBit,         // flip a bit in the footer
+  kBlockSplice,       // remove one whole block (lost write)
+  kBlockDuplicate,    // replay one whole block (CRC still passes!)
+  kTruncateTail,      // cut the image at a random byte (crash tail)
+};
+
+const char* MutationKindName(MutationKind kind);
+
+struct AppliedMutation {
+  MutationKind kind;
+  uint64_t block = 0;  // target block index, when the kind has one
+  size_t offset = 0;   // byte offset touched (pre-mutation coordinates)
+};
+
+// Human-readable "kind@offset(block=N)" trail for fuzz failure reports.
+std::string DescribeMutations(const std::vector<AppliedMutation>& applied);
+
+class BlockMutator {
+ public:
+  // `pristine` must be a well-formed dataset image (as produced by
+  // DatasetWriter); the constructor CHECK-fails otherwise — the mutator's
+  // whole premise is that it knows the true geometry.
+  explicit BlockMutator(std::vector<uint8_t> pristine);
+
+  size_t num_blocks() const { return blocks_.size(); }
+  const std::vector<uint8_t>& pristine() const { return pristine_; }
+
+  // Returns a copy of the pristine image with `count` seeded mutations.
+  // Structure-preserving mutations land first (their targets come from the
+  // pristine geometry); at most one length-changing mutation (splice /
+  // duplicate / truncate) is applied, last, so earlier offsets stay valid.
+  // If `applied` is non-null it receives the mutation trail.
+  std::vector<uint8_t> Mutate(uint64_t seed, int count,
+                              std::vector<AppliedMutation>* applied = nullptr);
+
+ private:
+  struct BlockSpan {
+    size_t offset = 0;  // of the BlockHeader
+    uint32_t record_count = 0;
+    size_t size() const {
+      return kBlockHeaderBytes +
+             static_cast<size_t>(record_count) * kWireRecordBytes;
+    }
+  };
+
+  std::vector<uint8_t> pristine_;
+  std::vector<BlockSpan> blocks_;
+  size_t footer_offset_ = 0;
+};
+
+}  // namespace storage
+}  // namespace atypical
+
+#endif  // ATYPICAL_STORAGE_BLOCK_MUTATOR_H_

@@ -1,0 +1,35 @@
+#include "storage/fault_injection.h"
+
+#include <utility>
+
+#include "obs/stats.h"
+#include "util/string_util.h"
+
+namespace atypical {
+namespace storage {
+
+IoFaultSchedule::IoFaultSchedule(uint64_t seed, double p)
+    : rng_(seed), probability_(p) {}
+
+IoFaultSchedule::IoFaultSchedule(std::set<uint64_t> fail_ops)
+    : rng_(0), use_fail_ops_(true), fail_ops_(std::move(fail_ops)) {}
+
+IoFaultSchedule IoFaultSchedule::FailAt(std::set<uint64_t> fail_ops) {
+  return IoFaultSchedule(std::move(fail_ops));
+}
+
+Status IoFaultSchedule::OnOp(const std::string& what) {
+  const uint64_t op = ops_seen_++;
+  const bool fire = use_fail_ops_ ? fail_ops_.contains(op)
+                                  : rng_.Bernoulli(probability_);
+  if (!fire) return Status::Ok();
+  ++failures_injected_;
+  static obs::Counter* const injected =
+      obs::Registry()->GetCounter("fault.injected_io_errors");
+  injected->Add(1);
+  return IoError(StrPrintf("injected fault at op %llu: %s",
+                           (unsigned long long)op, what.c_str()));
+}
+
+}  // namespace storage
+}  // namespace atypical

@@ -1,0 +1,59 @@
+// Operation-level I/O fault injection for the storage layer.
+//
+// An `IoFaultSchedule` decides, deterministically, which I/O operations of a
+// run fail.  `DatasetWriter` and `DatasetReader` consult the schedule (when
+// `WriterOptions::faults` / `ReaderOptions::faults` is set) once per block
+// operation; a scheduled fault surfaces as a mid-stream `kIoError` Status —
+// and, on the write side, as a *torn* block: a prefix of the block's bytes
+// reaches the file before the error returns, exactly what a crash or full
+// disk leaves behind.  Tests and the fuzz campaigns use this to drive the
+// ingest→integration→forest paths against transient failure without mocking
+// the filesystem.
+//
+// Every injected fault is tallied in the `fault.injected_io_errors` obs
+// counter (and `fault.torn_writes` for writer tears), so a campaign's damage
+// is visible in the same stats snapshot as the pipeline's health counters.
+#ifndef ATYPICAL_STORAGE_FAULT_INJECTION_H_
+#define ATYPICAL_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace atypical {
+namespace storage {
+
+class IoFaultSchedule {
+ public:
+  // Fails each operation independently with probability `p` (seeded, so a
+  // campaign replays bit-identically).
+  IoFaultSchedule(uint64_t seed, double p);
+
+  // Fails exactly the operations at the given 0-based indices.
+  static IoFaultSchedule FailAt(std::set<uint64_t> fail_ops);
+
+  // Consulted once per I/O operation, in order.  Returns OK to proceed, or
+  // an `kIoError` Status naming `what` when the schedule fires.
+  [[nodiscard]] Status OnOp(const std::string& what);
+
+  uint64_t ops_seen() const { return ops_seen_; }
+  uint64_t failures_injected() const { return failures_injected_; }
+
+ private:
+  explicit IoFaultSchedule(std::set<uint64_t> fail_ops);
+
+  Rng rng_;
+  double probability_ = 0.0;
+  bool use_fail_ops_ = false;
+  std::set<uint64_t> fail_ops_;
+  uint64_t ops_seen_ = 0;
+  uint64_t failures_injected_ = 0;
+};
+
+}  // namespace storage
+}  // namespace atypical
+
+#endif  // ATYPICAL_STORAGE_FAULT_INJECTION_H_

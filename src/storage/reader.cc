@@ -17,6 +17,7 @@ struct ReaderMetrics {
   obs::Counter* records_read;
   obs::Counter* blocks_skipped;
   obs::Counter* records_lost;
+  obs::Counter* records_duplicated;
   obs::Counter* footer_missing;
 };
 
@@ -26,6 +27,7 @@ const ReaderMetrics& Metrics() {
       obs::Registry()->GetCounter("storage.records_read"),
       obs::Registry()->GetCounter("storage.blocks_skipped"),
       obs::Registry()->GetCounter("storage.records_lost"),
+      obs::Registry()->GetCounter("storage.records_duplicated"),
       obs::Registry()->GetCounter("storage.footer_missing"),
   };
   return m;
@@ -40,6 +42,13 @@ Result<DatasetReader> DatasetReader::Open(const std::string& path,
   reader.options_ = options;
   reader.file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
   if (!*reader.file_) return IoError("cannot open: " + path);
+  // The file size bounds every length field read later: a forged
+  // record_count must never size an allocation past the bytes that exist
+  // (found by fuzzing — a scrambled header + count combination otherwise
+  // requests a multi-gigabyte payload buffer).
+  reader.file_->seekg(0, std::ios::end);
+  reader.file_size_ = static_cast<uint64_t>(reader.file_->tellg());
+  reader.file_->seekg(0, std::ios::beg);
 
   char magic[sizeof(kMagic)];
   reader.file_->read(magic, sizeof(magic));
@@ -87,6 +96,11 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
     return FailedPreconditionError("reader is moved-from or closed: " + path_);
   }
   if (saw_footer_ || exhausted_) return false;
+  if (options_.faults != nullptr) {
+    // Consulted before any bytes are consumed: a scheduled fault is
+    // transient, and retrying the same NextBlock proceeds normally.
+    ATYPICAL_RETURN_IF_ERROR(options_.faults->OnOp("read block"));
+  }
 
   while (true) {
     uint8_t head_buf[kFooterBytes];  // big enough for either header or footer
@@ -100,6 +114,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       // The file ended mid-structure; there is nothing left to resync on.
       if (head_got > 0) {
         ++salvage_.blocks_skipped;
+        salvage_.skipped_blocks.push_back(blocks_seen_++);
         Metrics().blocks_skipped->Add(1);
       }
       salvage_.footer_missing = true;
@@ -135,6 +150,14 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
         salvage_.records_lost = footer.total_records > records_read_
                                     ? footer.total_records - records_read_
                                     : 0;
+        // More records than the footer promises: a replayed block passed
+        // its CRC and was returned twice.  Not silent — it breaks clean().
+        salvage_.records_duplicated = records_read_ > footer.total_records
+                                          ? records_read_ - footer.total_records
+                                          : 0;
+        if (salvage_.records_duplicated > 0) {
+          Metrics().records_duplicated->Add(salvage_.records_duplicated);
+        }
       } else if (footer.total_records != records_read_) {
         return DataLossError(StrPrintf(
             "footer record count %llu != records read %llu in %s",
@@ -158,6 +181,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       // assuming the writer's fixed block size (every block but the last
       // holds exactly block_records_ records).
       ++salvage_.blocks_skipped;
+      salvage_.skipped_blocks.push_back(blocks_seen_++);
       salvage_.records_lost += block_records_;
       Metrics().blocks_skipped->Add(1);
       Metrics().records_lost->Add(block_records_);
@@ -173,8 +197,28 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       continue;
     }
 
-    std::vector<uint8_t> payload(static_cast<size_t>(block.record_count) *
-                                 kWireRecordBytes);
+    const uint64_t payload_bytes =
+        static_cast<uint64_t>(block.record_count) * kWireRecordBytes;
+    const uint64_t pos = static_cast<uint64_t>(file_->tellg());
+    if (payload_bytes > file_size_ - pos) {
+      // The claimed payload extends past the end of the file; the read
+      // below would fail anyway, but checking first keeps a forged count
+      // from sizing the buffer (the file header's block_records bound may
+      // itself be corrupt, so plausibility alone is not enough).
+      if (!options_.salvage) {
+        return DataLossError("truncated block payload: " + path_);
+      }
+      ++salvage_.blocks_skipped;
+      salvage_.skipped_blocks.push_back(blocks_seen_++);
+      salvage_.records_lost += block.record_count;
+      Metrics().blocks_skipped->Add(1);
+      Metrics().records_lost->Add(block.record_count);
+      salvage_.footer_missing = true;
+      Metrics().footer_missing->Add(1);
+      exhausted_ = true;
+      return false;
+    }
+    std::vector<uint8_t> payload(static_cast<size_t>(payload_bytes));
     // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast): byte I/O
     file_->read(reinterpret_cast<char*>(payload.data()),
                 static_cast<std::streamsize>(payload.size()));
@@ -183,6 +227,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
         return DataLossError("truncated block payload: " + path_);
       }
       ++salvage_.blocks_skipped;
+      salvage_.skipped_blocks.push_back(blocks_seen_++);
       salvage_.records_lost += block.record_count;
       Metrics().blocks_skipped->Add(1);
       Metrics().records_lost->Add(block.record_count);
@@ -201,6 +246,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       // Skip this block; the stream is already positioned at the next
       // block boundary.
       ++salvage_.blocks_skipped;
+      salvage_.skipped_blocks.push_back(blocks_seen_++);
       salvage_.records_lost += block.record_count;
       Metrics().blocks_skipped->Add(1);
       Metrics().records_lost->Add(block.record_count);
@@ -211,6 +257,7 @@ Result<bool> DatasetReader::NextBlock(std::vector<Reading>* out) {
       out->push_back(DecodeRecord(payload.data() + i * kWireRecordBytes));
     }
     records_read_ += block.record_count;
+    ++blocks_seen_;
     salvage_.records_recovered = records_read_;
     Metrics().blocks_read->Add(1);
     Metrics().records_read->Add(block.record_count);

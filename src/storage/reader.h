@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cps/dataset.h"
+#include "storage/fault_injection.h"
 #include "storage/format.h"
 #include "util/status.h"
 
@@ -29,6 +30,10 @@ namespace storage {
 
 struct ReaderOptions {
   bool salvage = false;
+  // Test-only operation-level fault injection: consulted once per block
+  // read.  A scheduled fault surfaces as a transient kIoError before any
+  // bytes are consumed, so retrying the same NextBlock succeeds.
+  IoFaultSchedule* faults = nullptr;
 };
 
 // Tally of damage encountered (and survived) in salvage mode.
@@ -38,10 +43,19 @@ struct SalvageReport {
   // From the footer when one was read (authoritative), otherwise the sum of
   // the skipped blocks' claimed record counts.
   uint64_t records_lost = 0;
+  // Footer says fewer records than were read: a replayed (duplicated) block
+  // passed its CRC and was returned twice.
+  uint64_t records_duplicated = 0;
   bool footer_missing = false;  // file ended without a valid footer
+  // 0-based indices (in on-disk order, counting both read and skipped
+  // blocks) of the blocks that were skipped.  With the writer's fixed block
+  // size this localizes the loss to a record range, hence to days — see
+  // analytics::LostRecordsByDay.
+  std::vector<uint64_t> skipped_blocks;
 
   bool clean() const {
-    return blocks_skipped == 0 && records_lost == 0 && !footer_missing;
+    return blocks_skipped == 0 && records_lost == 0 &&
+           records_duplicated == 0 && !footer_missing;
   }
 };
 
@@ -83,7 +97,9 @@ class DatasetReader {
   ReaderOptions options_;
   SalvageReport salvage_;
   uint32_t block_records_ = kDefaultBlockRecords;  // from the file header
+  uint64_t file_size_ = 0;  // bounds every length field read from the file
   uint64_t records_read_ = 0;
+  uint64_t blocks_seen_ = 0;  // read + skipped, in on-disk order
   bool saw_footer_ = false;
   bool exhausted_ = false;  // salvage hit an unrecoverable end of data
   uint64_t footer_total_ = 0;

@@ -1,9 +1,8 @@
 #include "storage/writer.h"
 
-#include <fstream>
-#include <vector>
+#include <algorithm>
 
-#include "storage/format.h"
+#include "obs/stats.h"
 #include "util/logging.h"
 
 namespace atypical {
@@ -86,24 +85,19 @@ Footer DecodeFooter(const uint8_t* in) {
   return f;
 }
 
-Result<uint64_t> WriteDataset(const Dataset& dataset, const std::string& path,
-                              const WriterOptions& options) {
+Result<DatasetWriter> DatasetWriter::Open(const std::string& path,
+                                          const DatasetMeta& meta,
+                                          const WriterOptions& options) {
   if (options.block_records == 0) {
     return InvalidArgumentError("block_records must be positive");
   }
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return IoError("cannot open for writing: " + path);
+  DatasetWriter w;
+  w.path_ = path;
+  w.options_ = options;
+  w.file_ = std::make_unique<std::ofstream>(path,
+                                            std::ios::binary | std::ios::trunc);
+  if (!*w.file_) return IoError("cannot open for writing: " + path);
 
-  uint64_t bytes = 0;
-  auto write = [&](const void* data, size_t size) {
-    file.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(size));
-    bytes += size;
-  };
-
-  write(kMagic, sizeof(kMagic));
-
-  const DatasetMeta& meta = dataset.meta();
   FileHeader header;
   header.month_index = meta.month_index;
   header.first_day = meta.first_day;
@@ -111,41 +105,116 @@ Result<uint64_t> WriteDataset(const Dataset& dataset, const std::string& path,
   header.num_sensors = meta.num_sensors;
   header.window_minutes = meta.time_grid.window_minutes();
   header.block_records = options.block_records;
-  uint8_t header_buf[kFileHeaderBytes];
-  EncodeFileHeader(header, header_buf);
-  write(header_buf, sizeof(header_buf));
 
-  const std::vector<Reading>& readings = dataset.readings();
-  std::vector<uint8_t> payload;
-  payload.reserve(static_cast<size_t>(options.block_records) *
-                  kWireRecordBytes);
-  size_t pos = 0;
-  while (pos < readings.size()) {
-    const size_t count =
-        std::min<size_t>(options.block_records, readings.size() - pos);
-    payload.resize(count * kWireRecordBytes);
-    for (size_t i = 0; i < count; ++i) {
-      EncodeRecord(readings[pos + i], payload.data() + i * kWireRecordBytes);
+  // Magic + header go out as one flushed write: a file either has a complete
+  // preamble or fails Open on the read side; no block starts before this is
+  // durable.
+  uint8_t preamble[sizeof(kMagic) + kFileHeaderBytes];
+  std::memcpy(preamble, kMagic, sizeof(kMagic));
+  EncodeFileHeader(header, preamble + sizeof(kMagic));
+  ATYPICAL_RETURN_IF_ERROR(w.WriteRaw(preamble, sizeof(preamble)));
+  return w;
+}
+
+Status DatasetWriter::WriteRaw(const uint8_t* data, size_t size) {
+  file_->write(reinterpret_cast<const char*>(data),  // NOLINT: byte I/O
+               static_cast<std::streamsize>(size));
+  file_->flush();
+  if (!*file_) {
+    failed_ = true;
+    return IoError("short write: " + path_);
+  }
+  bytes_ += size;
+  return Status::Ok();
+}
+
+Status DatasetWriter::WriteBlock(size_t count) {
+  CHECK_GT(count, 0u);
+  CHECK_LE(count, pending_.size());
+  // Assemble the whole block — header and payload — in memory first.  The
+  // CRC is computed before a single byte reaches the file, so the on-disk
+  // prefix is always a sequence of self-validating blocks plus at most one
+  // torn tail.
+  block_buf_.resize(kBlockHeaderBytes + count * kWireRecordBytes);
+  uint8_t* payload = block_buf_.data() + kBlockHeaderBytes;
+  for (size_t i = 0; i < count; ++i) {
+    EncodeRecord(pending_[i], payload + i * kWireRecordBytes);
+  }
+  BlockHeader block;
+  block.record_count = static_cast<uint32_t>(count);
+  block.crc32 = Crc32(payload, count * kWireRecordBytes);
+  EncodeBlockHeader(block, block_buf_.data());
+
+  if (options_.faults != nullptr) {
+    Status scheduled = options_.faults->OnOp("write block");
+    if (!scheduled.ok()) {
+      // Simulate a crash mid-write: half the block reaches the file, then
+      // the error surfaces.  The salvage reader must recover everything
+      // before this block.
+      static obs::Counter* const torn =
+          obs::Registry()->GetCounter("fault.torn_writes");
+      torn->Add(1);
+      (void)WriteRaw(block_buf_.data(), block_buf_.size() / 2);  // torn tail is the point
+      failed_ = true;
+      return scheduled;
     }
-    BlockHeader block;
-    block.record_count = static_cast<uint32_t>(count);
-    block.crc32 = Crc32(payload.data(), payload.size());
-    uint8_t block_buf[kBlockHeaderBytes];
-    EncodeBlockHeader(block, block_buf);
-    write(block_buf, sizeof(block_buf));
-    write(payload.data(), payload.size());
-    pos += count;
   }
 
+  ATYPICAL_RETURN_IF_ERROR(WriteRaw(block_buf_.data(), block_buf_.size()));
+  total_records_ += count;
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(count));
+  return Status::Ok();
+}
+
+Status DatasetWriter::Append(const std::vector<Reading>& readings) {
+  if (failed_) {
+    return FailedPreconditionError("writer already failed: " + path_);
+  }
+  if (finished_) {
+    return FailedPreconditionError("writer already finished: " + path_);
+  }
+  pending_.insert(pending_.end(), readings.begin(), readings.end());
+  while (pending_.size() >= options_.block_records) {
+    ATYPICAL_RETURN_IF_ERROR(WriteBlock(options_.block_records));
+  }
+  return Status::Ok();
+}
+
+Status DatasetWriter::Finish() {
+  if (failed_) {
+    return FailedPreconditionError("writer already failed: " + path_);
+  }
+  if (finished_) {
+    return FailedPreconditionError("writer already finished: " + path_);
+  }
+  if (!pending_.empty()) {
+    ATYPICAL_RETURN_IF_ERROR(WriteBlock(pending_.size()));
+  }
+  if (options_.faults != nullptr) {
+    Status scheduled = options_.faults->OnOp("write footer");
+    if (!scheduled.ok()) {
+      failed_ = true;
+      return scheduled;  // footer never lands: salvage reports footer_missing
+    }
+  }
   Footer footer;
-  footer.total_records = readings.size();
+  footer.total_records = total_records_;
   uint8_t footer_buf[kFooterBytes];
   EncodeFooter(footer, footer_buf);
-  write(footer_buf, sizeof(footer_buf));
+  ATYPICAL_RETURN_IF_ERROR(WriteRaw(footer_buf, sizeof(footer_buf)));
+  finished_ = true;
+  return Status::Ok();
+}
 
-  file.flush();
-  if (!file) return IoError("short write: " + path);
-  return bytes;
+Result<uint64_t> WriteDataset(const Dataset& dataset, const std::string& path,
+                              const WriterOptions& options) {
+  Result<DatasetWriter> writer =
+      DatasetWriter::Open(path, dataset.meta(), options);
+  if (!writer.ok()) return writer.status();
+  ATYPICAL_RETURN_IF_ERROR(writer->Append(dataset.readings()));
+  ATYPICAL_RETURN_IF_ERROR(writer->Finish());
+  return writer->bytes_written();
 }
 
 }  // namespace storage

@@ -1,10 +1,28 @@
 // Dataset file writer.
+//
+// `DatasetWriter` streams a dataset to disk block by block with an explicit
+// crash-consistency contract: each block is assembled fully in memory (CRC
+// over the payload computed *before* the header is emitted), written as one
+// contiguous header+payload write, and flushed to the OS before the next
+// block starts.  A crash — or an injected fault from
+// `WriterOptions::faults` — therefore tears at most the final in-flight
+// block, and the salvage reader (storage/reader.h) recovers every
+// previously flushed block intact.  The sweep test in
+// tests/storage_writer_crash_test.cc truncates the file at every byte
+// boundary of the last block to lock this in.
+//
+// `WriteDataset` is the one-shot convenience wrapper over the streaming
+// class.
 #ifndef ATYPICAL_STORAGE_WRITER_H_
 #define ATYPICAL_STORAGE_WRITER_H_
 
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cps/dataset.h"
+#include "storage/fault_injection.h"
 #include "storage/format.h"
 #include "util/status.h"
 
@@ -13,6 +31,50 @@ namespace storage {
 
 struct WriterOptions {
   uint32_t block_records = kDefaultBlockRecords;
+  // Test-only operation-level fault injection: consulted once per block
+  // write and once for the footer.  A scheduled fault leaves a torn block —
+  // a prefix of the block's bytes — on disk and surfaces as kIoError.
+  IoFaultSchedule* faults = nullptr;
+};
+
+class DatasetWriter {
+ public:
+  // Creates `path` (truncating) and writes the magic + file header.
+  [[nodiscard]] static Result<DatasetWriter> Open(const std::string& path,
+                                                  const DatasetMeta& meta,
+                                                  const WriterOptions& options = {});
+
+  DatasetWriter(DatasetWriter&&) = default;
+  DatasetWriter& operator=(DatasetWriter&&) = default;
+
+  // Buffers `readings`; every full block of `options.block_records` records
+  // is written and flushed immediately.  After a non-OK return the writer is
+  // dead (the file holds a recoverable prefix) and further calls fail.
+  [[nodiscard]] Status Append(const std::vector<Reading>& readings);
+
+  // Writes the final partial block (if any) and the footer, then flushes.
+  [[nodiscard]] Status Finish();
+
+  uint64_t bytes_written() const { return bytes_; }
+  uint64_t records_written() const { return total_records_; }
+
+ private:
+  DatasetWriter() = default;
+
+  // Encodes `count` readings from `pending_` into one block and writes
+  // header+payload as a single flushed write.
+  Status WriteBlock(size_t count);
+  Status WriteRaw(const uint8_t* data, size_t size);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::string path_;
+  WriterOptions options_;
+  std::vector<Reading> pending_;
+  std::vector<uint8_t> block_buf_;  // header + payload scratch
+  uint64_t total_records_ = 0;
+  uint64_t bytes_ = 0;
+  bool finished_ = false;
+  bool failed_ = false;
 };
 
 // Writes `dataset` to `path` in the block format described in format.h.

@@ -26,6 +26,37 @@ size_t FaultPlan::TruncateTail(std::vector<uint8_t>* bytes, size_t lo) {
   return new_size;
 }
 
+void FaultPlan::TruncateTo(std::vector<uint8_t>* bytes, size_t new_size) {
+  CHECK_LE(new_size, bytes->size());
+  bytes->resize(new_size);
+}
+
+uint32_t FaultPlan::ScrambleU32(std::vector<uint8_t>* bytes, size_t offset) {
+  CHECK_LE(offset + 4, bytes->size());
+  const uint32_t value = static_cast<uint32_t>(rng_.Next64());
+  (*bytes)[offset] = static_cast<uint8_t>(value);
+  (*bytes)[offset + 1] = static_cast<uint8_t>(value >> 8);
+  (*bytes)[offset + 2] = static_cast<uint8_t>(value >> 16);
+  (*bytes)[offset + 3] = static_cast<uint8_t>(value >> 24);
+  return value;
+}
+
+void FaultPlan::SpliceOut(std::vector<uint8_t>* bytes, size_t lo, size_t len) {
+  CHECK_LE(lo + len, bytes->size());
+  bytes->erase(bytes->begin() + static_cast<ptrdiff_t>(lo),
+               bytes->begin() + static_cast<ptrdiff_t>(lo + len));
+}
+
+void FaultPlan::DuplicateAt(std::vector<uint8_t>* bytes, size_t lo,
+                            size_t len) {
+  CHECK_LE(lo + len, bytes->size());
+  const std::vector<uint8_t> range(
+      bytes->begin() + static_cast<ptrdiff_t>(lo),
+      bytes->begin() + static_cast<ptrdiff_t>(lo + len));
+  bytes->insert(bytes->begin() + static_cast<ptrdiff_t>(lo + len),
+                range.begin(), range.end());
+}
+
 size_t FaultPlan::DuplicateRange(std::vector<uint8_t>* bytes, size_t max_len) {
   CHECK(!bytes->empty());
   CHECK_GT(max_len, 0u);

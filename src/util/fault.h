@@ -36,10 +36,29 @@ class FaultPlan {
   // size.
   size_t TruncateTail(std::vector<uint8_t>* bytes, size_t lo = 0);
 
+  // Deterministic truncation to exactly `new_size` bytes (crash-consistency
+  // sweeps hit every byte boundary; the random TruncateTail cannot).
+  static void TruncateTo(std::vector<uint8_t>* bytes, size_t new_size);
+
   // Duplicates a random range of 1..max_len bytes in place, re-inserting the
   // copy immediately after the original (a torn/replayed write).  Returns
   // the offset of the duplicated range.
   size_t DuplicateRange(std::vector<uint8_t>* bytes, size_t max_len = 64);
+
+  // ---- Structure-targeted primitives (format-aware fuzzing) ----
+  // The storage block mutator composes these against parsed file geometry;
+  // they stay format-agnostic here (offsets are the caller's business).
+
+  // Overwrites the 4 bytes at `offset` with random bits.  Returns the value
+  // written (little-endian view of those bytes).
+  uint32_t ScrambleU32(std::vector<uint8_t>* bytes, size_t offset);
+
+  // Removes `bytes[lo, lo + len)` in place (a lost/skipped write).
+  static void SpliceOut(std::vector<uint8_t>* bytes, size_t lo, size_t len);
+
+  // Re-inserts a copy of `bytes[lo, lo + len)` immediately after itself
+  // (a replayed write at caller-chosen granularity, e.g. one whole block).
+  static void DuplicateAt(std::vector<uint8_t>* bytes, size_t lo, size_t len);
 
   // ---- Record-stream faults (live-feed degradation) ----
 

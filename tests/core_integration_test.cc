@@ -256,6 +256,76 @@ TEST(IntegrationTest, ThresholdIsStrict) {
   EXPECT_EQ(IntegrateClusters(micros, params, &ids).size(), 1u);
 }
 
+TEST(IntegrationTest, RoundBudgetReturnsValidPartialPartition) {
+  // A chain of transitively mergeable clusters: unbounded integration folds
+  // them all; a one-round budget stops after the first merge, reports
+  // !converged, and still returns a valid partition of the inputs.
+  auto make_chain = [](ClusterIdGenerator* ids) {
+    std::vector<AtypicalCluster> micros;
+    for (uint32_t k = 1; k <= 6; ++k) {
+      micros.push_back(MakeMicro(ids, {{k, 10.0}, {k + 1, 10.0}}, {{5, 20.0}}));
+    }
+    return micros;
+  };
+  IntegrationParams params;
+  params.delta_sim = 0.45;
+
+  ClusterIdGenerator full_ids(1);
+  IntegrationStats full_stats;
+  const auto full = IntegrateClusters(make_chain(&full_ids), params, &full_ids,
+                                      &full_stats);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_TRUE(full_stats.converged);
+  EXPECT_GE(full_stats.fixpoint_rounds, 6u);
+
+  params.max_fixpoint_rounds = 1;
+  ClusterIdGenerator part_ids(1);
+  IntegrationStats part_stats;
+  const auto partial = IntegrateClusters(make_chain(&part_ids), params,
+                                         &part_ids, &part_stats);
+  EXPECT_FALSE(part_stats.converged);
+  EXPECT_EQ(part_stats.fixpoint_rounds, 1u);
+  EXPECT_GT(partial.size(), full.size());
+  EXPECT_LE(partial.size(), 6u);
+  // Still a partition: every input micro id appears exactly once, severity
+  // conserved.
+  std::set<ClusterId> seen;
+  double severity = 0.0;
+  for (const auto& c : partial) {
+    severity += c.severity();
+    for (ClusterId id : c.micro_ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "micro " << id << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_NEAR(severity, 6 * 20.0, 1e-9);
+}
+
+TEST(IntegrationTest, DeadlineBudgetReportsTruncation) {
+  // An already-elapsed deadline trips before the first round; the output is
+  // the untouched input set.
+  Rng rng(23);
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros = RandomMicros(20, 6, rng, &ids);
+  IntegrationParams params;
+  params.deadline_seconds = 1e-12;
+  IntegrationStats stats;
+  const auto out = IntegrateClusters(micros, params, &ids, &stats);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(out.size(), micros.size());
+  EXPECT_EQ(stats.merges, 0u);
+}
+
+TEST(IntegrationTest, DefaultBudgetsAreUnlimited) {
+  Rng rng(29);
+  ClusterIdGenerator ids(1);
+  std::vector<AtypicalCluster> micros = RandomMicros(40, 8, rng, &ids);
+  IntegrationStats stats;
+  IntegrateClusters(std::move(micros), IntegrationParams{}, &ids, &stats);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GT(stats.fixpoint_rounds, 0u);
+}
+
 TEST(IntegrationDeathTest, RejectsNonPositiveDeltaSim) {
   ClusterIdGenerator ids(1);
   IntegrationParams params;

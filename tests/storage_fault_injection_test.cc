@@ -1,0 +1,176 @@
+// Operation-level fault injection through the writer and reader decorator
+// hooks: a scheduled writer fault leaves a torn-but-salvageable file, a
+// scheduled reader fault is transient (the retry succeeds), and
+// probabilistic schedules replay bit-identically from their seed.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "storage/fault_injection.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace storage {
+namespace {
+
+constexpr uint32_t kBlockRecords = 64;
+constexpr uint64_t kNumBlocks = 4;
+constexpr uint64_t kTotalRecords = kNumBlocks * kBlockRecords;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() {
+    const auto workload = MakeWorkload(WorkloadScale::kTiny, 4);
+    const Dataset full = workload->generator->GenerateMonth(0);
+    std::vector<Reading> slice(full.readings().begin(),
+                               full.readings().begin() + kTotalRecords);
+    dataset_ = Dataset(full.meta(), std::move(slice));
+    path_ = ::testing::TempDir() + "/fault_injection_test.atyp";
+  }
+  ~FaultInjectionTest() override { std::remove(path_.c_str()); }
+
+  Status WriteWithFaults(IoFaultSchedule* faults) {
+    WriterOptions options;
+    options.block_records = kBlockRecords;
+    options.faults = faults;
+    Result<DatasetWriter> writer =
+        DatasetWriter::Open(path_, dataset_.meta(), options);
+    if (!writer.ok()) return writer.status();
+    ATYPICAL_RETURN_IF_ERROR(writer->Append(dataset_.readings()));
+    return writer->Finish();
+  }
+
+  Dataset dataset_;
+  std::string path_;
+};
+
+// A fault at block-write N tears block N mid-write; salvage recovers the N
+// preceding blocks exactly, for every N.
+TEST_F(FaultInjectionTest, TornBlockWriteLeavesSalvageablePrefix) {
+  for (uint64_t fail_op = 0; fail_op < kNumBlocks; ++fail_op) {
+    IoFaultSchedule faults = IoFaultSchedule::FailAt({fail_op});
+    const Status written = WriteWithFaults(&faults);
+    EXPECT_EQ(written.code(), StatusCode::kIoError) << written.ToString();
+    EXPECT_EQ(faults.failures_injected(), 1u);
+
+    ReaderOptions options;
+    options.salvage = true;
+    SalvageReport report;
+    const Result<Dataset> got = ReadDataset(path_, options, &report);
+    ASSERT_TRUE(got.ok()) << "fail_op=" << fail_op << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(report.records_recovered, fail_op * kBlockRecords);
+    EXPECT_TRUE(report.footer_missing) << "fail_op=" << fail_op;
+    EXPECT_FALSE(report.clean());
+    for (size_t i = 0; i < got->readings().size(); ++i) {
+      ASSERT_EQ(got->readings()[i].window, dataset_.readings()[i].window);
+      ASSERT_EQ(got->readings()[i].sensor, dataset_.readings()[i].sensor);
+    }
+    // Strict mode refuses the torn file outright.
+    EXPECT_EQ(ReadDataset(path_).status().code(), StatusCode::kDataLoss);
+  }
+}
+
+// A fault on the footer write loses no data records — only the footer — and
+// salvage reports exactly that.
+TEST_F(FaultInjectionTest, FooterWriteFaultLosesNoRecords) {
+  // Op indices 0..3 are the block writes; op 4 is the footer.
+  IoFaultSchedule faults = IoFaultSchedule::FailAt({kNumBlocks});
+  EXPECT_EQ(WriteWithFaults(&faults).code(), StatusCode::kIoError);
+
+  ReaderOptions options;
+  options.salvage = true;
+  SalvageReport report;
+  const Result<Dataset> got = ReadDataset(path_, options, &report);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(report.records_recovered, kTotalRecords);
+  EXPECT_EQ(report.blocks_skipped, 0u);
+  EXPECT_EQ(report.records_lost, 0u);
+  EXPECT_TRUE(report.footer_missing);
+}
+
+// After any injected write fault the writer is dead: further Append/Finish
+// calls fail kFailedPrecondition instead of appending past a torn block.
+TEST_F(FaultInjectionTest, WriterIsDeadAfterInjectedFault) {
+  IoFaultSchedule faults = IoFaultSchedule::FailAt({0});
+  WriterOptions options;
+  options.block_records = kBlockRecords;
+  options.faults = &faults;
+  Result<DatasetWriter> writer =
+      DatasetWriter::Open(path_, dataset_.meta(), options);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->Append(dataset_.readings()).code(), StatusCode::kIoError);
+  EXPECT_EQ(writer->Append(dataset_.readings()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Finish().code(), StatusCode::kFailedPrecondition);
+}
+
+// A reader fault fires before any bytes are consumed, so the same NextBlock
+// retried succeeds and the full dataset still comes back.
+TEST_F(FaultInjectionTest, ReaderFaultIsTransient) {
+  CHECK_OK(WriteWithFaults(nullptr));
+
+  IoFaultSchedule faults = IoFaultSchedule::FailAt({1});  // second block read
+  ReaderOptions options;
+  options.faults = &faults;
+  Result<DatasetReader> reader = DatasetReader::Open(path_, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+  std::vector<Reading> all;
+  std::vector<Reading> block;
+  int transient_errors = 0;
+  while (true) {
+    Result<bool> more = reader->NextBlock(&block);
+    if (!more.ok()) {
+      ASSERT_EQ(more.status().code(), StatusCode::kIoError);
+      ++transient_errors;
+      continue;  // retry the same block
+    }
+    if (!*more) break;
+    all.insert(all.end(), block.begin(), block.end());
+  }
+  EXPECT_EQ(transient_errors, 1);
+  ASSERT_EQ(all.size(), dataset_.readings().size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i].window, dataset_.readings()[i].window);
+    ASSERT_EQ(all[i].sensor, dataset_.readings()[i].sensor);
+  }
+}
+
+// Probabilistic schedules are deterministic in their seed: two schedules
+// with the same (seed, p) inject faults at identical operations.
+TEST_F(FaultInjectionTest, ProbabilisticScheduleReplaysFromSeed) {
+  std::vector<uint64_t> first;
+  std::vector<uint64_t> second;
+  for (std::vector<uint64_t>* out : {&first, &second}) {
+    IoFaultSchedule faults(99, 0.3);
+    for (uint64_t op = 0; op < 200; ++op) {
+      if (!faults.OnOp("probe").ok()) out->push_back(op);
+    }
+    EXPECT_EQ(faults.ops_seen(), 200u);
+    EXPECT_EQ(faults.failures_injected(), out->size());
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());            // p = 0.3 over 200 ops must fire
+  EXPECT_LT(first.size(), 120u);          // ... and must not fire always
+}
+
+// p = 0 never fires; FailAt({}) never fires.
+TEST_F(FaultInjectionTest, EmptySchedulesNeverFire) {
+  IoFaultSchedule never(7, 0.0);
+  IoFaultSchedule none = IoFaultSchedule::FailAt({});
+  for (uint64_t op = 0; op < 50; ++op) {
+    EXPECT_TRUE(never.OnOp("probe").ok());
+    EXPECT_TRUE(none.OnOp("probe").ok());
+  }
+  EXPECT_EQ(never.failures_injected(), 0u);
+  EXPECT_EQ(none.failures_injected(), 0u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical

@@ -1,0 +1,306 @@
+// Salvage reader vs the FaultPlan byte-fault matrix: every fault primitive
+// (bit flip, truncation, duplicated range) crossed with every structural
+// position (block-count field, CRC field, payload, footer, magic) at the
+// first, middle and last block.  Each cell asserts the EXACT SalvageReport
+// tally — not just "something was skipped" — so a regression in resync
+// arithmetic cannot hide behind a weaker invariant.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace storage {
+namespace {
+
+constexpr uint32_t kBlockRecords = 64;
+constexpr uint64_t kNumBlocks = 3;
+constexpr size_t kDataStart = sizeof(kMagic) + kFileHeaderBytes;
+constexpr size_t kFullBlockBytes =
+    kBlockHeaderBytes + kBlockRecords * kWireRecordBytes;
+constexpr uint64_t kTotalRecords = kNumBlocks * kBlockRecords;
+
+size_t BlockOffset(uint64_t block) {
+  return kDataStart + static_cast<size_t>(block) * kFullBlockBytes;
+}
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  FaultMatrixTest() {
+    const auto workload = MakeWorkload(WorkloadScale::kTiny, 4);
+    const Dataset full = workload->generator->GenerateMonth(0);
+    std::vector<Reading> slice(full.readings().begin(),
+                               full.readings().begin() + kTotalRecords);
+    dataset_ = Dataset(full.meta(), std::move(slice));
+    path_ = ::testing::TempDir() + "/fault_matrix_test.atyp";
+    WriterOptions options;
+    options.block_records = kBlockRecords;
+    CHECK_OK(WriteDataset(dataset_, path_, options).status());
+    std::ifstream in(path_, std::ios::binary);
+    pristine_.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    CHECK_EQ(pristine_.size(),
+             kDataStart + kNumBlocks * kFullBlockBytes + kFooterBytes);
+  }
+  ~FaultMatrixTest() override { std::remove(path_.c_str()); }
+
+  Result<Dataset> Salvage(const std::vector<uint8_t>& bytes,
+                          SalvageReport* report) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),  // NOLINT: byte I/O
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    ReaderOptions options;
+    options.salvage = true;
+    return ReadDataset(path_, options, report);
+  }
+
+  // Strict mode must refuse whatever salvage had to work around.
+  void ExpectStrictRejects() {
+    EXPECT_EQ(ReadDataset(path_).status().code(), StatusCode::kDataLoss);
+  }
+
+  // The surviving records must be the pristine sequence minus whole blocks —
+  // never a reordered or partial block.
+  void ExpectPrefixBlocks(const Dataset& got, uint64_t skipped_block) {
+    const size_t cut = static_cast<size_t>(skipped_block) * kBlockRecords;
+    for (size_t i = 0; i < got.readings().size(); ++i) {
+      const size_t want_i = i < cut ? i : i + kBlockRecords;
+      ASSERT_EQ(got.readings()[i].window, dataset_.readings()[want_i].window);
+      ASSERT_EQ(got.readings()[i].sensor, dataset_.readings()[want_i].sensor);
+    }
+  }
+
+  Dataset dataset_;
+  std::string path_;
+  std::vector<uint8_t> pristine_;
+};
+
+// ---- FlipBit × {count field, CRC field, payload} × {first, mid, last} ----
+
+// Any single-bit flip of a record_count of 64 yields 0 or a value > 64, so
+// every cell lands in the implausible-count resync path with one fixed-size
+// block charged.
+TEST_F(FaultMatrixTest, FlipBitInCountField) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    FaultPlan plan(7000 + block);
+    std::vector<uint8_t> bytes = pristine_;
+    const size_t at =
+        plan.FlipBit(&bytes, BlockOffset(block), BlockOffset(block) + 4);
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << "bit at " << at << ": " << got.status().ToString();
+    EXPECT_EQ(report.blocks_skipped, 1u) << "block " << block;
+    ASSERT_EQ(report.skipped_blocks.size(), 1u);
+    EXPECT_EQ(report.skipped_blocks[0], block);
+    EXPECT_EQ(report.records_recovered, kTotalRecords - kBlockRecords);
+    EXPECT_EQ(report.records_lost, kBlockRecords);
+    EXPECT_EQ(report.records_duplicated, 0u);
+    EXPECT_FALSE(report.footer_missing);
+    EXPECT_FALSE(report.clean());
+    ExpectPrefixBlocks(*got, block);
+    ExpectStrictRejects();
+  }
+}
+
+// A flipped stored CRC cannot match the (unchanged) payload CRC.
+TEST_F(FaultMatrixTest, FlipBitInCrcField) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    FaultPlan plan(7100 + block);
+    std::vector<uint8_t> bytes = pristine_;
+    plan.FlipBit(&bytes, BlockOffset(block) + 4, BlockOffset(block) + 8);
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(report.blocks_skipped, 1u);
+    ASSERT_EQ(report.skipped_blocks.size(), 1u);
+    EXPECT_EQ(report.skipped_blocks[0], block);
+    EXPECT_EQ(report.records_recovered, kTotalRecords - kBlockRecords);
+    EXPECT_EQ(report.records_lost, kBlockRecords);
+    EXPECT_FALSE(report.footer_missing);
+    ExpectPrefixBlocks(*got, block);
+    ExpectStrictRejects();
+  }
+}
+
+// A payload flip fails the CRC; the stream is already positioned at the next
+// boundary, so exactly one block is charged.
+TEST_F(FaultMatrixTest, FlipBitInPayload) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    FaultPlan plan(7200 + block);
+    std::vector<uint8_t> bytes = pristine_;
+    plan.FlipBit(&bytes, BlockOffset(block) + kBlockHeaderBytes,
+                 BlockOffset(block) + kFullBlockBytes);
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(report.blocks_skipped, 1u);
+    ASSERT_EQ(report.skipped_blocks.size(), 1u);
+    EXPECT_EQ(report.skipped_blocks[0], block);
+    EXPECT_EQ(report.records_recovered, kTotalRecords - kBlockRecords);
+    EXPECT_EQ(report.records_lost, kBlockRecords);
+    EXPECT_FALSE(report.footer_missing);
+    ExpectPrefixBlocks(*got, block);
+    ExpectStrictRejects();
+  }
+}
+
+// ---- Truncation × {block boundary, mid-header, mid-payload} × blocks ----
+
+TEST_F(FaultMatrixTest, TruncateAtBlockBoundary) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    std::vector<uint8_t> bytes = pristine_;
+    FaultPlan::TruncateTo(&bytes, BlockOffset(block));
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // A clean cut between blocks skips nothing; the only symptom is the
+    // missing footer.
+    EXPECT_EQ(report.blocks_skipped, 0u);
+    EXPECT_EQ(report.records_recovered, block * kBlockRecords);
+    EXPECT_EQ(report.records_lost, 0u);
+    EXPECT_TRUE(report.footer_missing);
+    EXPECT_FALSE(report.clean());
+    ExpectStrictRejects();
+  }
+}
+
+TEST_F(FaultMatrixTest, TruncateMidHeader) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    std::vector<uint8_t> bytes = pristine_;
+    FaultPlan::TruncateTo(&bytes, BlockOffset(block) + 3);
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(report.blocks_skipped, 1u);
+    ASSERT_EQ(report.skipped_blocks.size(), 1u);
+    EXPECT_EQ(report.skipped_blocks[0], block);
+    EXPECT_EQ(report.records_recovered, block * kBlockRecords);
+    // A torn header carries no trustworthy count, so nothing is charged to
+    // records_lost; footer_missing is the loss signal.
+    EXPECT_EQ(report.records_lost, 0u);
+    EXPECT_TRUE(report.footer_missing);
+    ExpectStrictRejects();
+  }
+}
+
+TEST_F(FaultMatrixTest, TruncateMidPayload) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    std::vector<uint8_t> bytes = pristine_;
+    FaultPlan::TruncateTo(&bytes, BlockOffset(block) + kBlockHeaderBytes + 37);
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(report.blocks_skipped, 1u);
+    ASSERT_EQ(report.skipped_blocks.size(), 1u);
+    EXPECT_EQ(report.skipped_blocks[0], block);
+    EXPECT_EQ(report.records_recovered, block * kBlockRecords);
+    EXPECT_EQ(report.records_lost, kBlockRecords);  // header count survives
+    EXPECT_TRUE(report.footer_missing);
+    ExpectStrictRejects();
+  }
+}
+
+// ---- Duplicated range (replayed block) × {first, mid, last} ----
+
+TEST_F(FaultMatrixTest, DuplicatedBlockIsCountedNotSilent) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    std::vector<uint8_t> bytes = pristine_;
+    FaultPlan::DuplicateAt(&bytes, BlockOffset(block), kFullBlockBytes);
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Both copies pass their CRC, so both are returned — but the footer
+    // count exposes the replay and clean() must break.
+    EXPECT_EQ(report.blocks_skipped, 0u);
+    EXPECT_EQ(report.records_recovered, kTotalRecords + kBlockRecords);
+    EXPECT_EQ(report.records_lost, 0u);
+    EXPECT_EQ(report.records_duplicated, kBlockRecords);
+    EXPECT_FALSE(report.footer_missing);
+    EXPECT_FALSE(report.clean());
+    ExpectStrictRejects();
+  }
+}
+
+// A spliced-out (lost-write) block shifts nothing — the footer count charges
+// the loss even though every surviving block is intact.
+TEST_F(FaultMatrixTest, SplicedOutBlockChargedByFooter) {
+  for (uint64_t block = 0; block < kNumBlocks; ++block) {
+    std::vector<uint8_t> bytes = pristine_;
+    FaultPlan::SpliceOut(&bytes, BlockOffset(block), kFullBlockBytes);
+    SalvageReport report;
+    const Result<Dataset> got = Salvage(bytes, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(report.blocks_skipped, 0u);
+    EXPECT_EQ(report.records_recovered, kTotalRecords - kBlockRecords);
+    EXPECT_EQ(report.records_lost, kBlockRecords);
+    EXPECT_EQ(report.records_duplicated, 0u);
+    EXPECT_FALSE(report.footer_missing);
+    EXPECT_FALSE(report.clean());
+    ExpectPrefixBlocks(*got, block);
+    ExpectStrictRejects();
+  }
+}
+
+// ---- File-level positions ----
+
+// Any flip in the magic fails Open in both modes: without the header there
+// is no geometry to resync on.
+TEST_F(FaultMatrixTest, FlipBitInMagicFailsOpen) {
+  FaultPlan plan(7300);
+  std::vector<uint8_t> bytes = pristine_;
+  plan.FlipBit(&bytes, 0, sizeof(kMagic));
+  SalvageReport report;
+  EXPECT_EQ(Salvage(bytes, &report).status().code(), StatusCode::kDataLoss);
+  ExpectStrictRejects();
+}
+
+// A flip in the footer magic demotes the footer to an implausible block
+// header: one pseudo-block skipped, then end of file without a footer.
+TEST_F(FaultMatrixTest, FlipBitInFooterMagic) {
+  FaultPlan plan(7400);
+  std::vector<uint8_t> bytes = pristine_;
+  const size_t footer_at = pristine_.size() - kFooterBytes;
+  plan.FlipBit(&bytes, footer_at, footer_at + 4);
+  SalvageReport report;
+  const Result<Dataset> got = Salvage(bytes, &report);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(report.records_recovered, kTotalRecords);
+  EXPECT_EQ(report.blocks_skipped, 1u);  // the demoted footer
+  ASSERT_EQ(report.skipped_blocks.size(), 1u);
+  EXPECT_EQ(report.skipped_blocks[0], kNumBlocks);
+  EXPECT_EQ(report.records_lost, kBlockRecords);  // resync charge, no footer
+  EXPECT_TRUE(report.footer_missing);
+  ExpectStrictRejects();
+}
+
+// Multi-fault cell: a payload flip in one block AND a truncated tail.  The
+// tallies must compose additively.
+TEST_F(FaultMatrixTest, ComposedFaultsTallyAdditively) {
+  FaultPlan plan(7500);
+  std::vector<uint8_t> bytes = pristine_;
+  plan.FlipBit(&bytes, BlockOffset(0) + kBlockHeaderBytes,
+               BlockOffset(0) + kFullBlockBytes);
+  FaultPlan::TruncateTo(&bytes, BlockOffset(2) + kBlockHeaderBytes + 5);
+  SalvageReport report;
+  const Result<Dataset> got = Salvage(bytes, &report);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(report.blocks_skipped, 2u);
+  ASSERT_EQ(report.skipped_blocks.size(), 2u);
+  EXPECT_EQ(report.skipped_blocks[0], 0u);
+  EXPECT_EQ(report.skipped_blocks[1], 2u);
+  EXPECT_EQ(report.records_recovered, kBlockRecords);  // only block 1
+  EXPECT_EQ(report.records_lost, 2 * kBlockRecords);
+  EXPECT_TRUE(report.footer_missing);
+  ExpectStrictRejects();
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical

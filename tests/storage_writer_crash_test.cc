@@ -1,0 +1,177 @@
+// Writer crash-consistency contract: DatasetWriter assembles each block
+// fully in memory (CRC before header) and writes it as one flushed
+// contiguous write, so a crash tears at most the final in-flight block.
+// The sweep below truncates the image at EVERY byte boundary of the last
+// block and requires the salvage reader to recover every earlier block
+// intact — no cut point may lose more than the block it lands in.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace storage {
+namespace {
+
+constexpr uint32_t kBlockRecords = 64;
+constexpr size_t kDataStart = sizeof(kMagic) + kFileHeaderBytes;
+constexpr size_t kFullBlockBytes =
+    kBlockHeaderBytes + kBlockRecords * kWireRecordBytes;
+
+class WriterCrashTest : public ::testing::Test {
+ protected:
+  WriterCrashTest() {
+    const auto workload = MakeWorkload(WorkloadScale::kTiny, 4);
+    const Dataset full = workload->generator->GenerateMonth(0);
+    // 4 full blocks: the sweep wants several flushed blocks before the torn
+    // one, and an exact multiple keeps BlockCount() uniform.
+    std::vector<Reading> slice(full.readings().begin(),
+                               full.readings().begin() + 4 * kBlockRecords);
+    dataset_ = Dataset(full.meta(), std::move(slice));
+    path_ = ::testing::TempDir() + "/writer_crash_test.atyp";
+    WriterOptions options;
+    options.block_records = kBlockRecords;
+    CHECK_OK(WriteDataset(dataset_, path_, options).status());
+    std::ifstream in(path_, std::ios::binary);
+    pristine_.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  }
+  ~WriterCrashTest() override { std::remove(path_.c_str()); }
+
+  uint64_t NumBlocks() const { return 4; }
+  uint64_t NumRecords() const {
+    return static_cast<uint64_t>(dataset_.num_readings());
+  }
+
+  void WriteBytes(const std::vector<uint8_t>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Dataset dataset_;
+  std::string path_;
+  std::vector<uint8_t> pristine_;
+};
+
+TEST_F(WriterCrashTest, ImageLayoutMatchesGeometry) {
+  // The sweep below depends on the writer's fixed layout; pin it.
+  ASSERT_EQ(pristine_.size(),
+            kDataStart + NumBlocks() * kFullBlockBytes + kFooterBytes);
+}
+
+// The acceptance sweep: cut the file at every byte boundary of the last
+// block (from its first header byte through its final payload byte) and
+// demand all three leading blocks back, bit-exact.
+TEST_F(WriterCrashTest, TornFinalBlockIsAlwaysRecoverable) {
+  const size_t last_block_offset = kDataStart + 3 * kFullBlockBytes;
+  const uint64_t survivors = 3 * kBlockRecords;
+  for (size_t cut = last_block_offset;
+       cut < last_block_offset + kFullBlockBytes; ++cut) {
+    std::vector<uint8_t> bytes = pristine_;
+    FaultPlan::TruncateTo(&bytes, cut);
+    WriteBytes(bytes);
+
+    ReaderOptions options;
+    options.salvage = true;
+    SalvageReport report;
+    const Result<Dataset> got = ReadDataset(path_, options, &report);
+    ASSERT_TRUE(got.ok()) << "cut=" << cut << ": " << got.status().ToString();
+    ASSERT_EQ(static_cast<uint64_t>(got->num_readings()), survivors)
+        << "cut=" << cut;
+    EXPECT_EQ(report.records_recovered, survivors);
+    EXPECT_TRUE(report.footer_missing) << "cut=" << cut;
+    for (size_t i = 0; i < survivors; ++i) {
+      ASSERT_EQ(got->readings()[i].window, dataset_.readings()[i].window);
+      ASSERT_EQ(got->readings()[i].sensor, dataset_.readings()[i].sensor);
+    }
+  }
+}
+
+// Cuts inside the footer lose no records at all.
+TEST_F(WriterCrashTest, TornFooterLosesNoRecords) {
+  for (size_t tail = 1; tail <= kFooterBytes; ++tail) {
+    std::vector<uint8_t> bytes = pristine_;
+    FaultPlan::TruncateTo(&bytes, pristine_.size() - tail);
+    WriteBytes(bytes);
+
+    ReaderOptions options;
+    options.salvage = true;
+    SalvageReport report;
+    const Result<Dataset> got = ReadDataset(path_, options, &report);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(static_cast<uint64_t>(got->num_readings()), NumRecords());
+    EXPECT_TRUE(report.footer_missing);
+    EXPECT_EQ(report.records_recovered, NumRecords());
+  }
+}
+
+// The streaming writer and the one-shot WriteDataset produce identical
+// bytes: the refactor may not change the format.
+TEST_F(WriterCrashTest, StreamingWriterMatchesOneShot) {
+  const std::string stream_path =
+      ::testing::TempDir() + "/writer_crash_stream.atyp";
+  WriterOptions options;
+  options.block_records = kBlockRecords;
+  Result<DatasetWriter> writer =
+      DatasetWriter::Open(stream_path, dataset_.meta(), options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  // Feed in uneven slices to exercise the pending buffer.
+  const std::vector<Reading>& all = dataset_.readings();
+  size_t pos = 0;
+  for (const size_t step : {7UL, 100UL, 64UL}) {
+    const size_t n = std::min(step, all.size() - pos);
+    ASSERT_TRUE(writer->Append({all.begin() + static_cast<ptrdiff_t>(pos),
+                                all.begin() + static_cast<ptrdiff_t>(pos + n)})
+                    .ok());
+    pos += n;
+  }
+  ASSERT_TRUE(
+      writer->Append({all.begin() + static_cast<ptrdiff_t>(pos), all.end()})
+          .ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_EQ(writer->records_written(), NumRecords());
+
+  std::ifstream in(stream_path, std::ios::binary);
+  const std::vector<uint8_t> streamed(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::remove(stream_path.c_str());
+  EXPECT_EQ(streamed, pristine_);
+}
+
+// Append/Finish on a finished or failed writer fail loudly instead of
+// corrupting the file.
+TEST_F(WriterCrashTest, FinishedWriterRejectsFurtherUse) {
+  const std::string stream_path =
+      ::testing::TempDir() + "/writer_crash_reuse.atyp";
+  WriterOptions options;
+  options.block_records = kBlockRecords;
+  Result<DatasetWriter> writer =
+      DatasetWriter::Open(stream_path, dataset_.meta(), options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(dataset_.readings()).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_EQ(writer->Append(dataset_.readings()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Finish().code(), StatusCode::kFailedPrecondition);
+  std::remove(stream_path.c_str());
+}
+
+TEST_F(WriterCrashTest, ZeroBlockRecordsIsRejected) {
+  WriterOptions options;
+  options.block_records = 0;
+  EXPECT_EQ(DatasetWriter::Open(path_, dataset_.meta(), options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace atypical
