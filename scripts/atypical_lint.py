@@ -23,15 +23,41 @@ Checks
                                escape hatch must be auditable).
   AL006 bare-assert            no bare `assert(`; use CHECK/DCHECK
                                (always-on / side-effect-free semantics).
-  AL007 header-self-contained  every header compiles in isolation
-                               (delegates to scripts/check_includes.py; run
-                               with --with-includes, it needs a compiler).
+  AL007 header-self-contained  every header compiles in isolation (built in;
+                               run with --with-includes, it needs a C++
+                               compiler).
   AL008 resilience-metric      every `fault.*` / `degradation.*` metric name
                                registered in src/ appears in the
                                `resilienceMetrics` list of
                                scripts/stats_schema.json, so the resilience
                                counter set stays closed and discoverable
                                (DESIGN §12).
+  AL009 unordered-iteration    no iteration over std::unordered_map/set in
+                               the deterministic modules (src/core, src/cube,
+                               src/index): hash-layout order leaks into ids,
+                               output, or accumulation order.  Iterate a
+                               sorted view, or carry `NOLINT(AL009): <proof
+                               of order-independence>`.  Membership lookups
+                               (find/contains/operator[]) are fine.
+  AL010 nondeterminism-source  no wall/monotonic clock reads, rand()/
+                               std::random_device, or address-as-identity
+                               casts in the deterministic modules.  Escape
+                               hatches: the seeded util::Rng, and timing via
+                               util/stopwatch.h + obs (results never depend
+                               on it).
+  AL011 guarded-by-coverage    a class that owns a util Mutex must annotate
+                               every mutable field with ATYPICAL_GUARDED_BY /
+                               ATYPICAL_PT_GUARDED_BY (atomics, CondVars and
+                               const members are exempt) or justify with
+                               `NOLINT(AL011): <why it is not shared>`.
+  AL012 float-accumulation     no +=/-= reduction into a double/float
+                               declared outside the loop while iterating an
+                               unordered container in the deterministic
+                               modules — float addition does not commute, so
+                               hash order would perturb the sum past the
+                               1e-6 similarity-slack contract.  Reduce over
+                               a sorted view (or the galloping ordered path,
+                               see core/similarity.cc).
 
 Suppressions reuse the NOLINT convention and must themselves be justified
 (AL001):   ... code ...  // NOLINT(AL003): counter is test-local
@@ -51,12 +77,15 @@ Exit status: 0 clean, 1 findings, 2 usage/environment error.
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
 import dataclasses
 import json
 import pathlib
 import re
+import shutil
 import subprocess
 import sys
+import tempfile
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_DIRS = ["src", "tests", "bench", "examples"]
@@ -461,17 +490,447 @@ def check_bare_assert(sf: SourceFile) -> list[Finding]:
     return findings
 
 
-# --- AL007: header self-containment (delegated) ------------------------------
+# --- AL007: header self-containment ------------------------------------------
 
-def check_headers_self_contained() -> list[Finding]:
-    proc = subprocess.run(
-        [sys.executable, str(REPO / "scripts" / "check_includes.py")],
-        capture_output=True, text=True)
-    if proc.returncode == 0:
+def _compile_header_alone(compiler: str, header: pathlib.Path) -> str:
+    """Syntax-checks a TU holding only `header`; returns stderr on failure."""
+    rel = header.relative_to(REPO / "src").as_posix()
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cc", prefix="hdr_check_", delete=False) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [compiler, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+             f"-I{REPO / 'src'}", "-x", "c++", tu_path],
+            capture_output=True, text=True)
+        return "" if proc.returncode == 0 else proc.stderr
+    finally:
+        pathlib.Path(tu_path).unlink(missing_ok=True)
+
+
+def check_headers_self_contained(compiler: str = "g++",
+                                 jobs: int = 4) -> list[Finding]:
+    """AL007: every src/**/*.h compiles in isolation.
+
+    A header that passes can be included first from any file, so
+    include-order coupling cannot creep in.
+    """
+    if shutil.which(compiler) is None:
+        print(f"error: AL007 needs a C++ compiler; {compiler!r} not found "
+              "(use --skip via lint_all.sh, or install one)", file=sys.stderr)
+        sys.exit(2)
+    headers = sorted((REPO / "src").rglob("*.h"))
+    if not headers:
+        print("error: no headers found under src/", file=sys.stderr)
+        sys.exit(2)
+    findings = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for header, err in zip(
+                headers,
+                pool.map(lambda h: _compile_header_alone(compiler, h),
+                         headers)):
+            if err:
+                first = err.strip().splitlines()[0] if err.strip() else ""
+                findings.append(Finding(
+                    header, 1, "AL007", "header-self-contained",
+                    f"header does not compile in isolation: {first}"))
+    return findings
+
+
+# --- AL009–AL012 shared machinery: deterministic-module scope ----------------
+#
+# The bit-identical guarantees (parallel integration, similarity pruning,
+# degradation equivalence) are carried by src/core, src/cube and src/index;
+# those directories are the "deterministic modules" the next four checks
+# police.  Fixtures opt in so the self-test can exercise them.
+
+DETERMINISTIC_PREFIXES = ("src/core/", "src/cube/", "src/index/")
+
+
+def _in_deterministic_scope(sf: SourceFile) -> bool:
+    rel = sf.path.relative_to(REPO).as_posix()
+    return rel.startswith(DETERMINISTIC_PREFIXES) or \
+        rel.startswith("scripts/lint_fixtures/")
+
+
+def _companion_code(sf: SourceFile) -> str:
+    """Code view of foo.h when linting foo.cc (member decls live there)."""
+    if sf.path.suffix == ".cc":
+        header = sf.path.with_suffix(".h")
+        if header.exists():
+            code, _ = strip_comments(header.read_text(encoding="utf-8"))
+            return "\n".join(code)
+    return ""
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+
+
+def _match_angle(text: str, open_idx: int) -> int | None:
+    """Index just past the `>` matching the `<` at open_idx, or None."""
+    depth = 0
+    for j in range(open_idx, min(len(text), open_idx + 2000)):
+        c = text[j]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return None
+
+
+def _collect_unordered(code_text: str) -> dict[str, bool]:
+    """Names declared with an unordered container type -> is_array.
+
+    Covers direct declarations, `using X = std::unordered_*<...>` aliases and
+    variables declared with those aliases (including C arrays of them, e.g.
+    `LevelMap levels_[kNumCubeLevels]`).
+    """
+    names: dict[str, bool] = {}
+    aliases: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(code_text):
+        open_idx = code_text.index("<", m.start())
+        close = _match_angle(code_text, open_idx)
+        if close is None:
+            continue
+        before = code_text[max(0, m.start() - 80):m.start()]
+        alias = re.search(r"\busing\s+(\w+)\s*=\s*$", before)
+        if alias:
+            aliases.add(alias.group(1))
+            continue
+        tail = code_text[close:close + 160]
+        decl = re.match(r"\s*(?:const\s+)?[&*]?\s*([A-Za-z_]\w*)\s*(\[)?", tail)
+        if decl is None:
+            continue
+        after_name = tail[decl.end(1):].lstrip()
+        if after_name.startswith("("):  # function returning the container
+            continue
+        names[decl.group(1)] = decl.group(2) == "["
+    for alias in aliases:
+        for decl in re.finditer(
+                rf"\b{alias}\b\s*(?:const\s+)?[&*]?\s*([A-Za-z_]\w*)\s*(\[)?",
+                code_text):
+            names[decl.group(1)] = decl.group(2) == "["
+    return names
+
+
+FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+def _for_loops(code_text: str):
+    """Yields (offset, header_text, body_start, body_end) for every for()."""
+    for m in FOR_RE.finditer(code_text):
+        start = m.end() - 1
+        depth = 0
+        header_end = None
+        for j in range(start, min(len(code_text), start + 2000)):
+            c = code_text[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    header_end = j
+                    break
+        if header_end is None:
+            continue
+        header = code_text[start + 1:header_end]
+        k = header_end + 1
+        while k < len(code_text) and code_text[k] in " \t\n":
+            k += 1
+        if k < len(code_text) and code_text[k] == "{":
+            depth = 0
+            body_end = k
+            for j in range(k, min(len(code_text), k + 40000)):
+                c = code_text[j]
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    if depth == 0:
+                        body_end = j
+                        break
+            yield m.start(), header, k + 1, body_end
+        else:
+            semi = code_text.find(";", k)
+            yield m.start(), header, k, semi if semi != -1 else k
+
+
+def _range_for_split(header: str) -> tuple[str, str] | None:
+    """Splits `decl : expr`; None for a classic three-clause for."""
+    depth = 0
+    i = 0
+    while i < len(header):
+        c = header[i]
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(header) and header[i + 1] == ":":
+                i += 2
+                continue
+            return header[:i], header[i + 1:]
+        i += 1
+    return None
+
+
+def _unordered_loops(sf: SourceFile):
+    """Yields (line_idx, name, body_start, body_end) for loops whose range is
+    an unordered container.
+
+    A range expression `m[k]` over a scalar map is the *mapped value*, not the
+    map — skipped; `levels_[i]` over an array of maps IS a map — flagged; the
+    array itself (`for (auto& level : levels_)`) iterates in index order —
+    skipped.  Classic iterator loops count when the init clause calls
+    `.begin()` on an unordered name (so the sort-a-copy fix idiom, which
+    calls .begin() outside any for-init, stays clean).
+    """
+    code_text = "\n".join(sf.code)
+    names = _collect_unordered(code_text + "\n" + _companion_code(sf))
+    if not names:
+        return
+    for offset, header, body_start, body_end in _for_loops(code_text):
+        line_idx = code_text.count("\n", 0, offset)
+        split = _range_for_split(header)
+        if split is not None:
+            expr = split[1].strip()
+            m = re.match(
+                r"^[&*]*\s*(?:\w+\s*(?:\.|->)\s*)*([A-Za-z_]\w*)\s*"
+                r"(\[[^\]]*\])?\s*$", expr)
+            if m is None:
+                continue
+            name, subscripted = m.group(1), m.group(2) is not None
+            if name in names and names[name] == subscripted:
+                yield line_idx, name, body_start, body_end
+        else:
+            init = header.split(";", 1)[0]
+            m = re.search(
+                r"([A-Za-z_]\w*)\s*(\[[^\]]*\])?\s*(?:\.|->)\s*c?begin\s*\(",
+                init)
+            if m and m.group(1) in names and \
+                    names[m.group(1)] == (m.group(2) is not None):
+                yield line_idx, m.group(1), body_start, body_end
+
+
+# --- AL009: unordered-container iteration in deterministic modules -----------
+
+def check_unordered_iteration(sf: SourceFile) -> list[Finding]:
+    if not _in_deterministic_scope(sf):
         return []
-    detail = (proc.stderr or proc.stdout).strip().splitlines()
-    msg = detail[-1] if detail else "check_includes.py failed"
-    return [Finding(REPO / "src", 0, "AL007", "header-self-contained", msg)]
+    findings = []
+    for line_idx, name, _, _ in _unordered_loops(sf):
+        if suppressed(sf, line_idx, "AL009"):
+            continue
+        findings.append(Finding(
+            sf.path, line_idx + 1, "AL009", "unordered-iteration",
+            f"iteration over unordered container '{name}' in a deterministic "
+            "module leaks hash-layout order; iterate a sorted view or prove "
+            "order-independence with NOLINT(AL009): <why>"))
+    return findings
+
+
+# --- AL010: nondeterminism sources in deterministic modules ------------------
+
+AL010_PATTERNS = [
+    (re.compile(
+        r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+        r"\b"),
+     "clock read; results must not depend on time — use util/stopwatch.h "
+     "for obs-only timing"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\("),
+     "rand()/srand(); use the seeded util::Rng"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device; use the seeded util::Rng"),
+    (re.compile(r"\breinterpret_cast\s*<\s*(?:std::)?u?intptr_t\b"),
+     "address-as-identity cast; pointer values vary run to run (ASLR)"),
+]
+
+
+def check_nondeterminism_sources(sf: SourceFile) -> list[Finding]:
+    if not _in_deterministic_scope(sf):
+        return []
+    findings = []
+    for i, code in enumerate(sf.code):
+        for pattern, why in AL010_PATTERNS:
+            if not pattern.search(code):
+                continue
+            if suppressed(sf, i, "AL010"):
+                continue
+            findings.append(Finding(
+                sf.path, i + 1, "AL010", "nondeterminism-source", why))
+            break
+    return findings
+
+
+# --- AL011: GUARDED_BY coverage for Mutex-owning classes ---------------------
+
+CLASS_HEAD_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)")
+MEMBER_SKIP_RE = re.compile(
+    r"^\s*(?:using|typedef|friend|static|constexpr|enum|class|struct|"
+    r"template)\b")
+GUARDED_ANNOT_RE = re.compile(r"\bATYPICAL_(?:PT_)?GUARDED_BY\s*\(")
+MUTEX_OWNER_RE = re.compile(r"^(?:mutable\s+)?(?:util::)?Mutex\s+\w+$")
+
+
+def _class_spans(code_text: str):
+    """Yields (class_name, body_start, body_end) for class/struct bodies."""
+    for m in CLASS_HEAD_RE.finditer(code_text):
+        if re.search(r"\benum\s+$", code_text[max(0, m.start() - 16):m.start()]):
+            continue
+        body_open = None
+        angle = 0
+        j = m.end()
+        while j < len(code_text):
+            c = code_text[j]
+            if c == "<":
+                angle += 1
+            elif c == ">":
+                angle = max(0, angle - 1)
+            elif angle == 0 and c == "{":
+                body_open = j
+                break
+            elif angle == 0 and c in ";=,)":
+                break  # forward decl / template parameter / variable
+            j += 1
+        if body_open is None:
+            continue
+        depth = 0
+        for k in range(body_open, len(code_text)):
+            c = code_text[k]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    yield m.group(1), body_open + 1, k
+                    break
+
+
+def _member_statements(code_text: str, start: int, end: int):
+    """Yields (statement_text, start_offset) for depth-1 class members.
+
+    Function definitions are discarded (their closing `}` is not followed by
+    `;`); braced initializers and nested type definitions survive to the
+    terminating `;` and are filtered by the caller.
+    """
+    depth = 1
+    buf: list[str] = []
+    buf_start: int | None = None
+    i = start
+    while i < end:
+        c = code_text[i]
+        if c == "{":
+            depth += 1
+            buf.append(c)
+        elif c == "}":
+            depth -= 1
+            if depth == 1:
+                j = i + 1
+                while j < end and code_text[j] in " \t\n":
+                    j += 1
+                if j < end and code_text[j] == ";":
+                    buf.append(c)  # braced init / nested type; keep going
+                else:
+                    buf, buf_start = [], None  # function definition body
+            elif depth >= 1:
+                buf.append(c)
+        elif c == ";" and depth == 1:
+            stmt = "".join(buf).strip()
+            if stmt and buf_start is not None:
+                yield stmt, buf_start
+            buf, buf_start = [], None
+        elif c == ":" and depth == 1 and \
+                "".join(buf).strip() in ("public", "private", "protected"):
+            buf, buf_start = [], None
+        else:
+            if buf_start is None and not c.isspace():
+                buf_start = i
+            buf.append(c)
+        i += 1
+
+
+def check_guarded_by(sf: SourceFile) -> list[Finding]:
+    rel = sf.path.relative_to(REPO).as_posix()
+    if not (rel.startswith("src/") or rel.startswith("scripts/lint_fixtures/")):
+        return []
+    findings = []
+    code_text = "\n".join(sf.code)
+    for cls, start, end in _class_spans(code_text):
+        statements = list(_member_statements(code_text, start, end))
+        if not any(MUTEX_OWNER_RE.match(s) for s, _ in statements):
+            continue  # class does not own a util::Mutex
+        for stmt, offset in statements:
+            if MEMBER_SKIP_RE.match(stmt):
+                continue
+            if re.search(r"\b(?:Mutex|MutexLock|CondVar)\b", stmt):
+                continue  # the lock itself / its companions
+            if "std::atomic" in stmt or stmt.startswith("const "):
+                continue  # atomics and immutable members are exempt
+            if GUARDED_ANNOT_RE.search(stmt):
+                continue
+            bare = re.sub(r"\bATYPICAL_\w+\s*\([^)]*\)", "", stmt)
+            bare = re.sub(r"\bATYPICAL_\w+\b", "", bare)
+            if "(" in bare:
+                continue  # function declaration or function-typed member
+            line_idx = code_text.count("\n", 0, offset)
+            if suppressed(sf, line_idx, "AL011"):
+                continue
+            head = re.split(r"[={]", bare)[0]
+            tokens = re.findall(r"[A-Za-z_]\w*", head)
+            field = tokens[-1] if tokens else stmt
+            findings.append(Finding(
+                sf.path, line_idx + 1, "AL011", "guarded-by-coverage",
+                f"class '{cls}' owns a util::Mutex but field '{field}' has "
+                "no ATYPICAL_GUARDED_BY/ATYPICAL_PT_GUARDED_BY annotation "
+                "(justify unshared fields with NOLINT(AL011): <why>)"))
+    return findings
+
+
+# --- AL012: float accumulation over unordered iteration ----------------------
+
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
+ACCUM_RE = re.compile(r"[+\-]=")
+LOOP_LOCAL_DECL_TEMPLATE = (
+    r"(?:^|[;{{}}(\s])(?:const\s+)?(?:auto|[A-Za-z_][\w:]*(?:<[^;{{]*?>)?)"
+    r"\s*[&*]?\s+{base}\s*[=({{\[]")
+
+
+def check_float_accumulation(sf: SourceFile) -> list[Finding]:
+    if not _in_deterministic_scope(sf):
+        return []
+    findings = []
+    code_text = "\n".join(sf.code)
+    float_names = set(FLOAT_DECL_RE.findall(
+        code_text + "\n" + _companion_code(sf)))
+    if not float_names:
+        return []
+    for _, name, body_start, body_end in _unordered_loops(sf):
+        body = code_text[body_start:body_end]
+        for acc in ACCUM_RE.finditer(body):
+            before = body[:acc.start()]
+            stmt_start = max(before.rfind(";"), before.rfind("{"),
+                             before.rfind("}")) + 1
+            lhs = before[stmt_start:]
+            idents = re.findall(r"[A-Za-z_]\w*", lhs)
+            if not idents or not (set(idents) & float_names):
+                continue
+            if re.search(LOOP_LOCAL_DECL_TEMPLATE.format(
+                    base=re.escape(idents[0])), before):
+                continue  # accumulator lives inside the loop: order-free
+            line_idx = code_text.count("\n", 0, body_start + acc.start())
+            if suppressed(sf, line_idx, "AL012"):
+                continue
+            findings.append(Finding(
+                sf.path, line_idx + 1, "AL012", "float-accumulation",
+                f"float accumulation into '{'.'.join(idents)}' while "
+                f"iterating unordered container '{name}': float addition "
+                "does not commute, so hash order perturbs the sum (1e-6 "
+                "similarity-slack contract); reduce over a sorted view"))
+    return findings
 
 
 TEXT_CHECKS = [
@@ -482,6 +941,10 @@ TEXT_CHECKS = [
     check_raw_sync,
     check_void_discards,
     check_bare_assert,
+    check_unordered_iteration,
+    check_nondeterminism_sources,
+    check_guarded_by,
+    check_float_accumulation,
 ]
 
 

@@ -6,11 +6,14 @@
 #
 # Stages (all must pass):
 #   1. atypical_lint self-test      the lint's own fixture suite
-#   2. atypical_lint               project conventions (AL001-AL006) over
-#                                  src/ tests/ bench/ examples/
-#   3. header self-containment     AL007, via scripts/check_includes.py
-#                                  (needs a C++ compiler; --skip-includes)
-#   4. clang-tidy                  .clang-tidy gate, when clang-tidy is on
+#   2. check_layering self-test     the layering checker's fixture trees
+#   3. atypical_lint               project conventions (AL001-AL012) over
+#                                  src/ tests/ bench/ examples/; includes
+#                                  AL007 header self-containment unless
+#                                  --skip-includes (needs a C++ compiler)
+#   4. check_layering              src/ #include graph vs the layer DAG in
+#                                  scripts/layering.json (+ ratchet)
+#   5. clang-tidy                  .clang-tidy gate, when clang-tidy is on
 #                                  PATH (skipped quietly otherwise unless
 #                                  REQUIRE_CLANG_TIDY=1; --skip-tidy)
 #
@@ -51,13 +54,16 @@ run_stage() {
 }
 
 run_stage "atypical_lint --self-test" python3 scripts/atypical_lint.py --self-test
-run_stage "atypical_lint" python3 scripts/atypical_lint.py
+run_stage "check_layering --self-test" python3 scripts/check_layering.py --self-test
 
 if [ "${SKIP_INCLUDES}" -eq 0 ]; then
-  run_stage "header self-containment (AL007)" python3 scripts/check_includes.py --jobs 4
+  run_stage "atypical_lint (with AL007 includes)" python3 scripts/atypical_lint.py --with-includes
 else
-  echo "==> header self-containment (AL007): skipped (--skip-includes)"
+  echo "==> AL007 header self-containment: skipped (--skip-includes)"
+  run_stage "atypical_lint" python3 scripts/atypical_lint.py
 fi
+
+run_stage "check_layering" python3 scripts/check_layering.py
 
 if [ "${SKIP_TIDY}" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,0 +1,42 @@
+// Lint fixture: AL011 GUARDED_BY coverage for Mutex-owning classes.
+// Exercised by atypical_lint.py --self-test; never compiled.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class UnguardedQueue {
+ public:
+  void Push(int v);
+
+ private:
+  Mutex mu_;
+  std::vector<int> items_;  // EXPECT-LINT: AL011
+  int high_water_ = 0;  // EXPECT-LINT: AL011
+};
+
+class GuardedQueue {
+ public:
+  void Push(int v);
+
+ private:
+  mutable Mutex mu_;
+  CondVar ready_;
+  std::vector<int> items_ ATYPICAL_GUARDED_BY(mu_);
+  int* sink_ ATYPICAL_PT_GUARDED_BY(mu_);
+  std::atomic<bool> stopped_{false};
+  const int capacity_ = 64;
+  std::vector<std::thread> workers_;  // NOLINT(AL011): created before the workers start, joined after shutdown; never accessed concurrently
+};
+
+// No Mutex ownership: the annotation requirement does not apply.
+struct PlainAccumulator {
+  double mass = 0.0;
+  int count = 0;
+};
+
+}  // namespace fixture

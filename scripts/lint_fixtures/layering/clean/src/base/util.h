@@ -1,0 +1,4 @@
+// Fixture: bottom layer, no project includes.
+#ifndef FIXTURE_BASE_UTIL_H_
+#define FIXTURE_BASE_UTIL_H_
+#endif

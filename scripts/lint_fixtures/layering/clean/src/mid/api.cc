@@ -1,0 +1,2 @@
+// Fixture: same-layer include is always allowed.
+#include "mid/api.h"

@@ -1,0 +1,5 @@
+// Fixture: declared downward edge mid -> base.
+#ifndef FIXTURE_MID_API_H_
+#define FIXTURE_MID_API_H_
+#include "base/util.h"
+#endif

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_CYCLE_A_H_
+#define FIXTURE_CYCLE_A_H_
+#include "base/b.h"
+#endif

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_CYCLE_B_H_
+#define FIXTURE_CYCLE_B_H_
+#include "base/a.h"
+#endif

@@ -1,0 +1,5 @@
+// Fixture: new upward include; the ratchet only covers base/leaky.h.
+#ifndef FIXTURE_RATCHET_FRESH_LEAK_H_
+#define FIXTURE_RATCHET_FRESH_LEAK_H_
+#include "mid/api.h"
+#endif

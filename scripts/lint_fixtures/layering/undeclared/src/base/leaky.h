@@ -1,0 +1,5 @@
+// Fixture: base must not reach up into mid.
+#ifndef FIXTURE_UNDECLARED_LEAKY_H_
+#define FIXTURE_UNDECLARED_LEAKY_H_
+#include "mid/api.h"
+#endif

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "index/grid_index.h"
 #include "obs/stats.h"
+#include "util/hash_perturb.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -113,6 +115,7 @@ AtypicalCluster BuildMicroCluster(const std::vector<AtypicalRecord>& records,
   int first_day = INT32_MAX;
   int last_day = INT32_MIN;
   std::unordered_map<EventId, double> label_mass;
+  PerturbedReserve(label_mass, event.size());
   // Aggregate SF by sensor and TF by window (Def. 4).  Records arrive
   // window-major, so TF adds are mostly in key order.
   for (size_t idx : event) {
@@ -128,9 +131,14 @@ AtypicalCluster BuildMicroCluster(const std::vector<AtypicalRecord>& records,
   cluster.first_day = first_day;
   cluster.last_day = last_day;
 
+  // Strict argmax by (mass, then smallest label).  Walk the labels in sorted
+  // order so the winner never depends on the map's hash layout.
+  std::vector<std::pair<EventId, double>> by_label(label_mass.begin(),
+                                                   label_mass.end());
+  std::sort(by_label.begin(), by_label.end());
   EventId dominant = kNoEvent;
   double best = 0.0;
-  for (const auto& [label, mass] : label_mass) {
+  for (const auto& [label, mass] : by_label) {
     if (mass > best || (mass == best && label < dominant)) {
       dominant = label;
       best = mass;

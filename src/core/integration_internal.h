@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "util/hash_perturb.h"
 
 namespace atypical {
 namespace integration_internal {
@@ -38,7 +39,9 @@ namespace integration_internal {
 // coordinating thread.
 class CandidateIndex {
  public:
-  explicit CandidateIndex(size_t num_slots) : last_seen_(num_slots, 0) {}
+  explicit CandidateIndex(size_t num_slots) : last_seen_(num_slots, 0) {
+    PerturbedReserve(postings_, num_slots * 2);
+  }
 
   void AddKeys(const AtypicalCluster& cluster, uint32_t slot) {
     for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
@@ -61,6 +64,9 @@ class CandidateIndex {
   bool MaybeCompact(const std::vector<bool>& alive) {
     if (total_postings_ <= compact_threshold_) return false;
     size_t kept = 0;
+    // Each posting list is rewritten in place under its own key; no state
+    // crosses entries, so visitation order cannot change the result.
+    // NOLINTNEXTLINE(AL009): per-key rewrite with no cross-entry state
     for (auto it = postings_.begin(); it != postings_.end();) {
       std::vector<uint32_t>& slots = it->second;
       std::sort(slots.begin(), slots.end());

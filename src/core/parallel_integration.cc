@@ -169,7 +169,7 @@ class ScanPool {
   double delta_ ATYPICAL_GUARDED_BY(mu_) = 0.0;
   bool fast_path_ ATYPICAL_GUARDED_BY(mu_) = true;
   std::vector<ShardResult> results_ ATYPICAL_GUARDED_BY(mu_);
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // NOLINT(AL011): filled before the workers start, joined in the destructor after shutdown; never touched while workers run
 };
 
 }  // namespace

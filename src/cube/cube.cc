@@ -1,5 +1,6 @@
 #include "cube/cube.h"
 
+#include "util/hash_perturb.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -28,6 +29,9 @@ BottomUpCube BottomUpCube::FromReadings(const Dataset& dataset,
                                         const SpatialPartition& regions) {
   Stopwatch timer;
   BottomUpCube cube;
+  for (LevelMap& level : cube.levels_) {
+    PerturbedReserve(level, dataset.readings().size() / 4 + 8);
+  }
   const TimeGrid& grid = dataset.meta().time_grid;
   const double window_minutes = grid.window_minutes();
   for (const Reading& r : dataset.readings()) {
@@ -57,6 +61,9 @@ BottomUpCube BottomUpCube::FromAtypical(
     const TimeGrid& grid) {
   Stopwatch timer;
   BottomUpCube cube;
+  for (LevelMap& level : cube.levels_) {
+    PerturbedReserve(level, records.size() / 4 + 8);
+  }
   for (const AtypicalRecord& r : records) {
     cube.AddAtypical(r, regions, grid);
   }
@@ -69,6 +76,9 @@ BottomUpCube BottomUpCube::FromAtypical(
 
 void BottomUpCube::MergeFrom(const BottomUpCube& other) {
   for (int level = 0; level < kNumCubeLevels; ++level) {
+    // Per-key merge: each source key is visited exactly once and folded into
+    // its own destination cell, so visitation order cannot change any sum.
+    // NOLINTNEXTLINE(AL009): += over distinct keys commutes; order-free
     for (const auto& [key, cell] : other.levels_[level]) {
       CubeCell& mine = levels_[level][key];
       mine.severity += cell.severity;

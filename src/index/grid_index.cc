@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/hash_perturb.h"
 #include "util/logging.h"
 
 namespace atypical {
@@ -19,7 +20,7 @@ GridIndex::GridIndex(const std::vector<AtypicalRecord>& records,
       metric_(metric) {
   CHECK_GT(delta_d_miles, 0.0);
   CHECK_GT(delta_t_minutes, 0);
-  buckets_.reserve(records.size() / 4 + 16);
+  PerturbedReserve(buckets_, records.size() / 4 + 16);
   for (size_t i = 0; i < records.size(); ++i) {
     buckets_[KeyOf(records[i])].push_back(static_cast<uint32_t>(i));
   }

@@ -1,0 +1,31 @@
+#include "util/hash_perturb.h"
+
+#include <cstdlib>
+
+namespace atypical {
+namespace {
+
+constexpr size_t kUninitialised = static_cast<size_t>(-1);
+size_t g_perturbation = kUninitialised;
+
+size_t FromEnv() {
+  const char* env = std::getenv("ATYPICAL_HASH_PERTURB");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;  // not a number: behave as unset
+  return static_cast<size_t>(value);
+}
+
+}  // namespace
+
+size_t HashLayoutPerturbation() {
+  if (g_perturbation == kUninitialised) g_perturbation = FromEnv();
+  return g_perturbation;
+}
+
+void SetHashLayoutPerturbation(size_t extra_buckets) {
+  g_perturbation = extra_buckets;
+}
+
+}  // namespace atypical

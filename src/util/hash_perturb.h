@@ -1,0 +1,37 @@
+// Hash-layout perturbation hook for determinism testing (DESIGN §13).
+//
+// Deterministic modules must not depend on the iteration order of unordered
+// containers.  AL009/AL012 keep order dependence out of the source; this
+// hook proves it at runtime: perturbing the initial bucket request changes
+// libstdc++'s chosen bucket-count prime, which reshuffles iteration order
+// without changing contents.  Production runs keep the perturbation at 0
+// (PerturbedReserve(c, n) is exactly reserve(n)); the determinism regression
+// test and the CI determinism-smoke job vary it — via
+// SetHashLayoutPerturbation() or the ATYPICAL_HASH_PERTURB environment
+// variable — and require analyze output to stay bit-identical.
+#ifndef ATYPICAL_UTIL_HASH_PERTURB_H_
+#define ATYPICAL_UTIL_HASH_PERTURB_H_
+
+#include <cstddef>
+
+namespace atypical {
+
+// Extra buckets added to every PerturbedReserve request.  Read once from
+// ATYPICAL_HASH_PERTURB (unset/invalid -> 0).
+size_t HashLayoutPerturbation();
+
+// Test-only override; call before the containers under test are built.
+// Not synchronised against concurrent PerturbedReserve calls.
+void SetHashLayoutPerturbation(size_t extra_buckets);
+
+// reserve(n) whose bucket request is test-perturbable.  Use it wherever a
+// deterministic module pre-sizes an unordered container, so the regression
+// harness can shuffle hash layouts underneath the whole pipeline.
+template <typename Container>
+void PerturbedReserve(Container& container, size_t n) {
+  container.reserve(n + HashLayoutPerturbation());
+}
+
+}  // namespace atypical
+
+#endif  // ATYPICAL_UTIL_HASH_PERTURB_H_
