@@ -22,7 +22,11 @@
 
 #include "analytics/drilldown.h"
 #include "analytics/report.h"
+#include "core/event_retrieval.h"
+#include "core/incremental_integration.h"
+#include "core/integration.h"
 #include "core/query.h"
+#include "core/streaming.h"
 #include "gen/workload.h"
 #include "obs/snapshot.h"
 #include "obs/stats.h"
@@ -47,6 +51,9 @@ int Usage() {
                "       atypical_cli inspect FILE...\n"
                "       atypical_cli analyze --dir DIR [--days A:B] "
                "[--strategy All|Pru|Gui] [--delta-s F] [--post-check] "
+               "[--scale tiny|small] [--seed S]\n"
+               "       atypical_cli integrate --dir DIR "
+               "[--mode batch|streamed] [--delta-sim F] [--max-rounds N] "
                "[--scale tiny|small] [--seed S]\n"
                "Any command also takes --stats[=text|json] "
                "[--stats-out FILE] to dump pipeline metrics on exit.\n");
@@ -240,6 +247,85 @@ int RunAnalyze(const FlagParser& flags) {
   return 0;
 }
 
+// Runs Algorithm 1 + Algorithm 3 over every .atyp file in --dir through
+// either the batch pipeline (RetrieveMicroClusters + IntegrateClusters) or
+// the streamed one (StreamingEventBuilder → IncrementalIntegrator →
+// Finalize).  The streamed≡batch guarantee makes the two modes print
+// byte-identical macro-cluster lines — CI diffs them — so nothing
+// mode-dependent (timing, counters) goes to stdout.
+int RunIntegrate(const FlagParser& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Usage();
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const Result<WorkloadScale> scale =
+      ParseScale(flags.GetString("scale", "tiny"));
+  if (!scale.ok()) return Fail(scale.status().ToString());
+  const std::string mode = flags.GetString("mode", "batch");
+  if (mode != "batch" && mode != "streamed") {
+    return Fail("--mode expects batch or streamed, got: " + mode);
+  }
+  IntegrationParams params;
+  params.delta_sim = flags.GetDouble("delta-sim", params.delta_sim);
+  params.max_fixpoint_rounds = static_cast<uint64_t>(flags.GetInt(
+      "max-rounds", static_cast<int64_t>(params.max_fixpoint_rounds)));
+  if (!flags.ok()) return Fail(flags.error());
+
+  const auto workload = MakeWorkload(*scale, seed);
+  const TimeGrid grid = workload->gen_config.time_grid;
+  const RetrievalParams retrieval = analytics::DefaultForestParams().retrieval;
+
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".atyp") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) return Fail("no .atyp files in " + dir);
+
+  std::vector<AtypicalRecord> records;
+  for (const std::string& path : files) {
+    Result<storage::DatasetReader> reader = storage::DatasetReader::Open(path);
+    if (!reader.ok()) return Fail(reader.status().ToString());
+    if (reader->meta().num_sensors != workload->sensors->num_sensors()) {
+      return Fail(StrPrintf(
+          "%s has %d sensors but the (scale, seed) deployment has %d — "
+          "pass the generate-time --scale/--seed", path.c_str(),
+          reader->meta().num_sensors, workload->sensors->num_sensors()));
+    }
+    const Result<int64_t> scanned = reader->ScanAtypical(
+        [&](const AtypicalRecord& r) { records.push_back(r); });
+    if (!scanned.ok()) return Fail(scanned.status().ToString());
+  }
+
+  std::vector<AtypicalCluster> micros;
+  std::vector<AtypicalCluster> macros;
+  ClusterIdGenerator ids(1);
+  if (mode == "batch") {
+    micros = RetrieveMicroClusters(records, *workload->sensors, grid,
+                                   retrieval, &ids);
+    macros = IntegrateClusters(micros, params, &ids);
+  } else {
+    IncrementalIntegrator integrator(params, &ids);
+    StreamingEventBuilder builder(workload->sensors.get(), grid, retrieval,
+                                  integrator.scratch_ids(),
+                                  integrator.AsEmitFn());
+    for (const AtypicalRecord& r : records) builder.Add(r);
+    builder.Flush();
+    macros = integrator.Finalize(/*stats=*/nullptr, &micros);
+  }
+
+  std::printf("records=%zu micros=%zu macros=%zu delta_sim=%.17g\n",
+              records.size(), micros.size(), macros.size(), params.delta_sim);
+  for (const AtypicalCluster& c : macros) {
+    std::printf(
+        "cluster %llu: severity=%.17g sensors=%d windows=%d micros=%zu\n",
+        (unsigned long long)c.id, c.severity(), c.num_sensors(),
+        c.num_windows(), c.micro_ids.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +339,8 @@ int main(int argc, char** argv) {
     rc = RunInspect(flags);
   } else if (command == "analyze") {
     rc = RunAnalyze(flags);
+  } else if (command == "integrate") {
+    rc = RunIntegrate(flags);
   } else {
     return Usage();
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analytics/report.h"
+#include "core/incremental_integration.h"
 #include "core/ingest.h"
 #include "core/query.h"
 #include "cube/cube.h"
@@ -108,10 +109,27 @@ int main(int argc, char** argv) {
   ingest_options.policy = IngestPolicy::kBuffer;
   FaultPlan feed_fault(2026);
 
+  // One guard and one incremental integrator serve the whole run: records
+  // stream guard → integrator as they are validated, so a live macro-cluster
+  // picture (`num_macros()`) is available at any instant, and each evening
+  // `Finalize()` re-derives the canonical batch micro-clusters — the exact
+  // clusters the old per-day batch path produced — for the forest.  The
+  // builder draws provisional ids from the integrator's scratch generator;
+  // the real forest ids are only consumed at Finalize.
+  const ForestParams forest_params = analytics::DefaultForestParams();
+  IncrementalIntegrator integrator(forest_params.integration, forest.ids());
+  std::vector<AtypicalRecord> validated;  // the current day's accepted records
+  RobustStreamingEventBuilder guard(
+      workload->sensors.get(), grid, forest_params.retrieval,
+      integrator.scratch_ids(), integrator.AsEmitFn(), ingest_options);
+  guard.set_accept_tap(
+      [&validated](const AtypicalRecord& r) { validated.push_back(r); });
+  IngestStats published_ingest;  // stats are cumulative; rows show the delta
+
   std::printf(
-      "day | micros | ingest health                             "
+      "day | micros | macros | ingest health                             "
       "| 7-day significant clusters\n"
-      "----|--------|-------------------------------------------"
+      "----|--------|--------|-------------------------------------------"
       "|---------------------------\n");
   for (const auto& [day, records] : incoming) {
     // The transport delays, duplicates and corrupts the day's records.
@@ -121,29 +139,48 @@ int main(int argc, char** argv) {
     feed = feed_fault.CorruptRecords(feed, 0.01, grid);
 
     // Evening ingest through the guard: malformed records are quarantined,
-    // late ones reordered; only the validated stream reaches the forest and
-    // the severity cube.
-    std::vector<AtypicalCluster> day_micros;
-    std::vector<AtypicalRecord> validated;
-    RobustStreamingEventBuilder guard(
-        workload->sensors.get(), grid,
-        analytics::DefaultForestParams().retrieval, forest.ids(),
-        [&](AtypicalCluster c) { day_micros.push_back(std::move(c)); },
-        ingest_options);
-    guard.set_accept_tap(
-        [&](const AtypicalRecord& r) { validated.push_back(r); });
+    // late ones reordered; only the validated stream reaches the integrator
+    // and the severity cube.
+    validated.clear();
     for (const AtypicalRecord& r : feed) guard.Add(r);
     guard.Flush();
+    const size_t live_macros = integrator.num_macros();
 
+    // Close out the day: canonical micro-clusters into the forest, then
+    // re-arm both stages for tomorrow.
+    std::vector<AtypicalCluster> day_micros;
+    integrator.Finalize(/*stats=*/nullptr, &day_micros);
     forest.InstallDay(day, std::move(day_micros));
+    guard.Reset();
+    integrator.Reset();
     severity_cube.MergeFrom(cube::BottomUpCube::FromAtypical(
         validated, *workload->regions, grid));
 
     // What the guard absorbed becomes part of the day's provenance: a day
     // whose records were quarantined is a degraded day, not a quiet one.
+    // Guard stats are cumulative across Reset(), so take the day's delta.
+    const IngestStats total = guard.stats();
+    IngestStats day_stats;
+    day_stats.records_in = total.records_in - published_ingest.records_in;
+    day_stats.accepted = total.accepted - published_ingest.accepted;
+    day_stats.reordered = total.reordered - published_ingest.reordered;
+    day_stats.quarantined_unknown_sensor =
+        total.quarantined_unknown_sensor -
+        published_ingest.quarantined_unknown_sensor;
+    day_stats.quarantined_bad_severity =
+        total.quarantined_bad_severity -
+        published_ingest.quarantined_bad_severity;
+    day_stats.quarantined_excess_severity =
+        total.quarantined_excess_severity -
+        published_ingest.quarantined_excess_severity;
+    day_stats.quarantined_duplicate =
+        total.quarantined_duplicate - published_ingest.quarantined_duplicate;
+    day_stats.quarantined_late =
+        total.quarantined_late - published_ingest.quarantined_late;
+    published_ingest = total;
     DayProvenance ingested;
-    ingested.records_stored = guard.stats().accepted;
-    ingested.records_quarantined = guard.stats().quarantined();
+    ingested.records_stored = day_stats.accepted;
+    ingested.records_quarantined = day_stats.quarantined();
     forest.RecordDayProvenance(day, ingested);
 
     // Rolling weekly query ending today.
@@ -162,8 +199,9 @@ int main(int argc, char** argv) {
       const FeatureVector::Entry top = c.spatial.Top();
       summary += StrPrintf(" [s%u %.0fmin]", top.key, c.severity());
     }
-    std::printf("%3d | %6zu | %s |%s\n", day, forest.MicrosOfDay(day).size(),
-                analytics::IngestHealthLine(guard.stats()).c_str(),
+    std::printf("%3d | %6zu | %6zu | %s |%s\n", day,
+                forest.MicrosOfDay(day).size(), live_macros,
+                analytics::IngestHealthLine(day_stats).c_str(),
                 summary.empty() ? " (none)" : summary.c_str());
   }
 

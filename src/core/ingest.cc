@@ -54,6 +54,17 @@ RobustStreamingEventBuilder::RobustStreamingEventBuilder(
   CHECK_GE(options.lateness_horizon_windows, 0);
 }
 
+RobustStreamingEventBuilder::RobustStreamingEventBuilder(
+    const SensorNetwork* network, const TimeGrid& grid,
+    const RetrievalParams& params, ClusterIdGenerator* ids, EmitSeqFn emit,
+    const IngestOptions& options)
+    : network_(network),
+      grid_(grid),
+      options_(options),
+      builder_(network, grid, params, ids, std::move(emit)) {
+  CHECK_GE(options.lateness_horizon_windows, 0);
+}
+
 RobustStreamingEventBuilder::~RobustStreamingEventBuilder() { PublishStats(); }
 
 void RobustStreamingEventBuilder::PublishStats() {
@@ -222,6 +233,14 @@ void RobustStreamingEventBuilder::Flush() {
   buffer_.clear();
   builder_.Flush();
   PublishStats();
+}
+
+void RobustStreamingEventBuilder::Reset() {
+  Flush();
+  builder_.Reset();
+  seen_.clear();
+  watermark_ = 0;
+  has_watermark_ = false;
 }
 
 }  // namespace atypical

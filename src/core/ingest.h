@@ -87,6 +87,7 @@ struct IngestStats {
 class RobustStreamingEventBuilder {
  public:
   using EmitFn = StreamingEventBuilder::EmitFn;
+  using EmitSeqFn = StreamingEventBuilder::EmitSeqFn;
   // Observes every record actually released to the inner builder, in the
   // (non-decreasing window) order it is released.
   using AcceptFn = std::function<void(const AtypicalRecord&)>;
@@ -95,6 +96,15 @@ class RobustStreamingEventBuilder {
                               const TimeGrid& grid,
                               const RetrievalParams& params,
                               ClusterIdGenerator* ids, EmitFn emit,
+                              const IngestOptions& options = {});
+  // Seq-carrying variant (see StreamingEventBuilder::EmitSeqFn): the seq is
+  // the event's earliest record's position in the *released* stream, i.e.
+  // the validated, window-ordered feed the accept tap observes — exactly
+  // the record numbering batch retrieval over the accepted records uses.
+  RobustStreamingEventBuilder(const SensorNetwork* network,
+                              const TimeGrid& grid,
+                              const RetrievalParams& params,
+                              ClusterIdGenerator* ids, EmitSeqFn emit,
                               const IngestOptions& options = {});
 
   // Publishes the outstanding IngestStats delta to the global obs registry
@@ -112,6 +122,13 @@ class RobustStreamingEventBuilder {
 
   // Releases the reorder buffer in window order and closes all open events.
   void Flush();
+
+  // Flushes, then re-arms the guard and the inner builder for a new day:
+  // clears the watermark and the duplicate-detection state and zeroes the
+  // inner builder's window watermark (day window ids restart from 0).
+  // IngestStats stay cumulative across Reset() — the reconciliation
+  // invariant spans the guard's whole lifetime.
+  void Reset();
 
   const IngestStats& stats() const { return stats_; }
   size_t open_events() const { return builder_.open_events(); }

@@ -10,14 +10,15 @@
 
 namespace atypical {
 
-using integration_internal::CandidateIndex;
+namespace integration_internal {
 
-std::vector<AtypicalCluster> IntegrateClusters(
+std::vector<AtypicalCluster> GreedyFixpoint(
     std::vector<AtypicalCluster> clusters, const IntegrationParams& params,
     ClusterIdGenerator* ids, IntegrationStats* stats) {
   CHECK_GT(params.delta_sim, 0.0)
       << "δsim must be positive (disjoint clusters have similarity 0)";
   CHECK(ids != nullptr);
+  CHECK(stats != nullptr);
   Stopwatch timer;
 
   const size_t n = clusters.size();
@@ -102,7 +103,29 @@ std::vector<AtypicalCluster> IntegrateClusters(
     if (alive[i]) out.push_back(std::move(clusters[i]));
   }
 
-  // Publish once per run; the hot loop above touches only locals.
+  stats->input_clusters = n;
+  stats->output_clusters = out.size();
+  stats->similarity_checks = similarity_checks;
+  stats->merges = merges;
+  stats->exact_scans = scan_stats.exact_scans;
+  stats->pruned_scans = scan_stats.pruned_scans;
+  stats->index_compactions = index_compactions;
+  stats->fixpoint_rounds = fixpoint_rounds;
+  stats->converged = converged;
+  stats->seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace integration_internal
+
+std::vector<AtypicalCluster> IntegrateClusters(
+    std::vector<AtypicalCluster> clusters, const IntegrationParams& params,
+    ClusterIdGenerator* ids, IntegrationStats* stats) {
+  IntegrationStats local;
+  std::vector<AtypicalCluster> out = integration_internal::GreedyFixpoint(
+      std::move(clusters), params, ids, &local);
+
+  // Publish once per run; the fixpoint loop touches only locals.
   static obs::Counter* const obs_runs =
       obs::Registry()->GetCounter("integration.runs");
   static obs::Counter* const obs_inputs =
@@ -126,29 +149,18 @@ std::vector<AtypicalCluster> IntegrateClusters(
   static obs::Counter* const obs_partial =
       obs::Registry()->GetCounter("degradation.integration_partial");
   obs_runs->Add(1);
-  if (!converged) obs_partial->Add(1);
-  obs_inputs->Add(n);
-  obs_outputs->Add(out.size());
-  obs_checks->Add(similarity_checks);
-  obs_merges->Add(merges);
-  obs_rounds->Add(fixpoint_rounds);
-  obs_exact_scans->Add(scan_stats.exact_scans);
-  obs_pruned->Add(scan_stats.pruned_scans);
-  obs_compactions->Add(index_compactions);
-  obs_seconds->Record(timer.ElapsedSeconds());
+  if (!local.converged) obs_partial->Add(1);
+  obs_inputs->Add(local.input_clusters);
+  obs_outputs->Add(local.output_clusters);
+  obs_checks->Add(local.similarity_checks);
+  obs_merges->Add(local.merges);
+  obs_rounds->Add(local.fixpoint_rounds);
+  obs_exact_scans->Add(local.exact_scans);
+  obs_pruned->Add(local.pruned_scans);
+  obs_compactions->Add(local.index_compactions);
+  obs_seconds->Record(local.seconds);
 
-  if (stats != nullptr) {
-    stats->input_clusters = n;
-    stats->output_clusters = out.size();
-    stats->similarity_checks = similarity_checks;
-    stats->merges = merges;
-    stats->exact_scans = scan_stats.exact_scans;
-    stats->pruned_scans = scan_stats.pruned_scans;
-    stats->index_compactions = index_compactions;
-    stats->fixpoint_rounds = fixpoint_rounds;
-    stats->converged = converged;
-    stats->seconds = timer.ElapsedSeconds();
-  }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "core/integration.h"
 #include "util/hash_perturb.h"
 
 namespace atypical {
@@ -41,6 +42,13 @@ class CandidateIndex {
  public:
   explicit CandidateIndex(size_t num_slots) : last_seen_(num_slots, 0) {
     PerturbedReserve(postings_, num_slots * 2);
+  }
+
+  // Extends the slot space to `num_slots` (the incremental driver appends a
+  // slot per arriving micro-cluster; batch drivers size the index up front).
+  // Existing postings and the compaction watermark are untouched.
+  void GrowSlots(size_t num_slots) {
+    if (num_slots > last_seen_.size()) last_seen_.resize(num_slots, 0);
   }
 
   void AddKeys(const AtypicalCluster& cluster, uint32_t slot) {
@@ -132,6 +140,18 @@ class CandidateIndex {
   // SIZE_MAX until SealBaseline(): an unsealed index never compacts.
   size_t compact_threshold_ = std::numeric_limits<size_t>::max();
 };
+
+// The serial greedy fixpoint of Algorithm 3 — the exact body of
+// IntegrateClusters minus obs publication: ascending slot sweep, each slot
+// repeatedly absorbing its lowest-numbered qualifying candidate, budgets
+// returning a valid partial partition with stats->converged=false.  Both
+// IntegrateClusters and IncrementalIntegrator::Finalize() call this one
+// function, which is what makes their outputs bit-identical by
+// construction.  `stats` must be non-null and is filled completely
+// (including seconds).
+std::vector<AtypicalCluster> GreedyFixpoint(
+    std::vector<AtypicalCluster> clusters, const IntegrationParams& params,
+    ClusterIdGenerator* ids, IntegrationStats* stats);
 
 }  // namespace integration_internal
 }  // namespace atypical

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -12,6 +13,18 @@ StreamingEventBuilder::StreamingEventBuilder(const SensorNetwork* network,
                                              const RetrievalParams& params,
                                              ClusterIdGenerator* ids,
                                              EmitFn emit)
+    : StreamingEventBuilder(
+          network, grid, params, ids,
+          EmitSeqFn([inner = std::move(emit)](AtypicalCluster cluster,
+                                              uint64_t /*first_record_seq*/) {
+            inner(std::move(cluster));
+          })) {}
+
+StreamingEventBuilder::StreamingEventBuilder(const SensorNetwork* network,
+                                             const TimeGrid& grid,
+                                             const RetrievalParams& params,
+                                             ClusterIdGenerator* ids,
+                                             EmitSeqFn emit)
     : network_(network),
       grid_(grid),
       params_(params),
@@ -37,7 +50,7 @@ void StreamingEventBuilder::Add(const AtypicalRecord& record) {
   CHECK_GE(record.window, last_seen_window_)
       << "stream must be fed in non-decreasing window order";
   last_seen_window_ = record.window;
-  ++records_seen_;
+  const uint64_t seq = records_seen_++;
   CloseExpired(record.window);
 
   // Find every open event the record relates to.  Within an event, records
@@ -46,11 +59,11 @@ void StreamingEventBuilder::Add(const AtypicalRecord& record) {
   std::vector<std::list<OpenEvent>::iterator> matches;
   for (auto it = open_.begin(); it != open_.end(); ++it) {
     for (auto r = it->records.rbegin(); r != it->records.rend(); ++r) {
-      if (grid_.IntervalMinutes(record.window, r->window) >=
+      if (grid_.IntervalMinutes(record.window, r->record.window) >=
           params_.delta_t_minutes) {
         break;  // everything earlier is even further away in time
       }
-      if (Related(record, *r)) {
+      if (Related(record, r->record)) {
         matches.push_back(it);
         break;
       }
@@ -59,7 +72,7 @@ void StreamingEventBuilder::Add(const AtypicalRecord& record) {
 
   if (matches.empty()) {
     OpenEvent fresh;
-    fresh.records.push_back(record);
+    fresh.records.push_back(TaggedRecord{record, seq});
     fresh.last_window = record.window;
     open_.push_back(std::move(fresh));
     return;
@@ -74,14 +87,19 @@ void StreamingEventBuilder::Add(const AtypicalRecord& record) {
     target.last_window = std::max(target.last_window, victim.last_window);
     open_.erase(matches[i]);
   }
-  // Keep window order within the event (merge disturbed it).
+  // Restore arrival order within the merged event.  Sorting by window is
+  // not enough — even stably: equal-window records interleaved across the
+  // merging events were pulled apart by the block concatenation above, and
+  // no window-keyed comparison can put them back.  The arrival seq is a
+  // unique total key, so this sort is deterministic and reproduces exactly
+  // the order batch retrieval accumulates the same records in.
   if (matches.size() > 1) {
     std::sort(target.records.begin(), target.records.end(),
-              [](const AtypicalRecord& a, const AtypicalRecord& b) {
-                return a.window < b.window;
+              [](const TaggedRecord& a, const TaggedRecord& b) {
+                return a.seq < b.seq;
               });
   }
-  target.records.push_back(record);
+  target.records.push_back(TaggedRecord{record, seq});
   target.last_window = std::max(target.last_window, record.window);
 }
 
@@ -100,14 +118,27 @@ void StreamingEventBuilder::CloseExpired(WindowId window) {
 }
 
 void StreamingEventBuilder::Emit(OpenEvent& event) {
-  std::vector<size_t> all(event.records.size());
+  std::vector<AtypicalRecord> records;
+  records.reserve(event.records.size());
+  uint64_t first_seq = event.records.front().seq;
+  for (const TaggedRecord& tagged : event.records) {
+    records.push_back(tagged.record);
+    first_seq = std::min(first_seq, tagged.seq);
+  }
+  std::vector<size_t> all(records.size());
   std::iota(all.begin(), all.end(), size_t{0});
-  emit_(BuildMicroCluster(event.records, all, grid_, ids_));
+  emit_(BuildMicroCluster(records, all, grid_, ids_), first_seq);
 }
 
 void StreamingEventBuilder::Flush() {
   for (OpenEvent& event : open_) Emit(event);
   open_.clear();
+}
+
+void StreamingEventBuilder::Reset() {
+  Flush();
+  last_seen_window_ = 0;
+  records_seen_ = 0;
 }
 
 std::vector<AtypicalCluster> StreamMicroClusters(

@@ -10,10 +10,15 @@
 //
 // Invariant (tested): feeding a day's records in window order yields exactly
 // the events of batch RetrieveEvents — the connected components of Def. 3
-// do not depend on discovery order.
+// do not depend on discovery order.  With the seq-carrying emit seam below,
+// the guarantee is bit-exact: each emitted micro-cluster accumulates its
+// records in the same order batch retrieval would, and carries the arrival
+// index of its earliest record so a downstream consumer can reconstruct the
+// batch event order (events sorted by smallest record index).
 #ifndef ATYPICAL_CORE_STREAMING_H_
 #define ATYPICAL_CORE_STREAMING_H_
 
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <vector>
@@ -31,9 +36,21 @@ class StreamingEventBuilder {
   // order.
   using EmitFn = std::function<void(AtypicalCluster)>;
 
+  // Seq-carrying variant: also receives the arrival index (0-based position
+  // in the fed stream) of the event's *earliest* record.  Closing order is
+  // not batch order — an event opened late can close before one opened
+  // early that keeps growing — but sorting emitted clusters by
+  // `first_record_seq` reproduces exactly the event order of batch
+  // `RetrieveEvents` (events ordered by smallest record index).  This is the
+  // seam `IncrementalIntegrator` uses for its streamed≡batch guarantee.
+  using EmitSeqFn = std::function<void(AtypicalCluster, uint64_t)>;
+
   StreamingEventBuilder(const SensorNetwork* network, const TimeGrid& grid,
                         const RetrievalParams& params,
                         ClusterIdGenerator* ids, EmitFn emit);
+  StreamingEventBuilder(const SensorNetwork* network, const TimeGrid& grid,
+                        const RetrievalParams& params,
+                        ClusterIdGenerator* ids, EmitSeqFn emit);
 
   // Feeds one record.  Records must arrive in non-decreasing window order
   // (the natural order of a CPS feed); violating this dies.
@@ -46,11 +63,27 @@ class StreamingEventBuilder {
   size_t records_seen() const { return records_seen_; }
 
   // Closes every open event regardless of window distance (end of stream).
+  // Flush alone does NOT re-arm the builder for a new day: window ids
+  // restart each day, and the monotonic-feed CHECK in Add() would fire.
+  // Call Reset() between days.
   void Flush();
 
+  // Flushes, then returns the builder to its freshly-constructed state
+  // (window watermark and record counter zeroed) so one builder can serve
+  // consecutive days whose window ids restart from 0.
+  void Reset();
+
  private:
+  // Each open record carries its arrival index so that merges can restore
+  // exact global arrival order (windows alone cannot: equal-window records
+  // interleaved across two merging events lose their relative order at
+  // concatenation).
+  struct TaggedRecord {
+    AtypicalRecord record;
+    uint64_t seq = 0;
+  };
   struct OpenEvent {
-    std::vector<AtypicalRecord> records;
+    std::vector<TaggedRecord> records;
     WindowId last_window = 0;  // max window of any record
   };
 
@@ -65,10 +98,10 @@ class StreamingEventBuilder {
   TimeGrid grid_;
   RetrievalParams params_;
   ClusterIdGenerator* ids_;
-  EmitFn emit_;
+  EmitSeqFn emit_;
   std::list<OpenEvent> open_;
   WindowId last_seen_window_ = 0;
-  size_t records_seen_ = 0;
+  uint64_t records_seen_ = 0;
 };
 
 // Convenience: streams `records` (sorted by window) through a builder and

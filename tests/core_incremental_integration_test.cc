@@ -1,0 +1,338 @@
+// IncrementalIntegrator::Finalize() must be a bit-identical drop-in for the
+// batch Algorithm 3 drivers — same partition, same features, same cluster
+// ids — no matter how the micro-clusters arrived.  The online state itself
+// is only guaranteed to be *a* fixpoint (no alive pair above δsim), not the
+// batch partition; these tests pin both contracts, plus the budget, scratch
+// id and Reset() semantics.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/incremental_integration.h"
+#include "core/integration.h"
+#include "core/parallel_integration.h"
+#include "core/similarity.h"
+#include "util/random.h"
+
+namespace atypical {
+namespace {
+
+std::vector<AtypicalCluster> RandomMicros(int count, uint32_t key_space,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AtypicalCluster> out;
+  for (int i = 0; i < count; ++i) {
+    AtypicalCluster c;
+    // Placeholder micro identity (a builder would hand out scratch ids);
+    // both Renumber() and Finalize() overwrite it.
+    c.id = static_cast<ClusterId>(i + 1);
+    c.micro_ids = {c.id};
+    c.first_day = static_cast<int>(rng.UniformInt(uint64_t{30}));
+    c.last_day = c.first_day;
+    c.num_records = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{40}));
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    for (int j = 0; j < n; ++j) {
+      const double severity = rng.Uniform(0.5, 15.0);
+      c.spatial.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{key_space})),
+                    severity);
+      c.temporal.Add(
+          static_cast<uint32_t>(rng.UniformInt(uint64_t{key_space})),
+          severity);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+// Assigns ids in vector order from `ids` — exactly what batch micro-cluster
+// construction does, and what Finalize() replays in first-seq order.
+void Renumber(std::vector<AtypicalCluster>* micros, ClusterIdGenerator* ids) {
+  for (AtypicalCluster& m : *micros) {
+    m.id = ids->Next();
+    m.micro_ids = {m.id};
+  }
+}
+
+void ExpectIdentical(const std::vector<AtypicalCluster>& batch,
+                     const std::vector<AtypicalCluster>& streamed) {
+  ASSERT_EQ(batch.size(), streamed.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const AtypicalCluster& b = batch[i];
+    const AtypicalCluster& s = streamed[i];
+    EXPECT_EQ(b.id, s.id) << "cluster " << i;
+    EXPECT_EQ(b.spatial, s.spatial) << "cluster " << i;
+    EXPECT_EQ(b.temporal, s.temporal) << "cluster " << i;
+    EXPECT_EQ(b.key_mode, s.key_mode) << "cluster " << i;
+    EXPECT_EQ(b.micro_ids, s.micro_ids) << "cluster " << i;
+    EXPECT_EQ(b.left_child, s.left_child) << "cluster " << i;
+    EXPECT_EQ(b.right_child, s.right_child) << "cluster " << i;
+    EXPECT_EQ(b.first_day, s.first_day) << "cluster " << i;
+    EXPECT_EQ(b.last_day, s.last_day) << "cluster " << i;
+    EXPECT_EQ(b.num_records, s.num_records) << "cluster " << i;
+  }
+}
+
+// Feeds `micros` in order (seq = feed position) and finalizes.
+std::vector<AtypicalCluster> StreamAndFinalize(
+    const std::vector<AtypicalCluster>& micros, const IntegrationParams& params,
+    ClusterIdGenerator* ids, IntegrationStats* stats = nullptr,
+    std::vector<AtypicalCluster>* canonical_micros = nullptr) {
+  IncrementalIntegrator integrator(params, ids);
+  for (size_t i = 0; i < micros.size(); ++i) {
+    integrator.Accept(micros[i], i);
+  }
+  EXPECT_EQ(integrator.num_micros(), micros.size());
+  return integrator.Finalize(stats, canonical_micros);
+}
+
+struct EquivalenceCase {
+  BalanceFunction g;
+  double delta_sim;
+  uint64_t seed;
+  bool use_index;
+  bool use_fast_path;
+};
+
+class IncrementalEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(IncrementalEquivalenceTest, FinalizeBitIdenticalToBatch) {
+  const EquivalenceCase c = GetParam();
+  std::vector<AtypicalCluster> micros = RandomMicros(120, 16, c.seed);
+
+  IntegrationParams params;
+  params.g = c.g;
+  params.delta_sim = c.delta_sim;
+  params.use_candidate_index = c.use_index;
+  params.use_similarity_fast_path = c.use_fast_path;
+
+  // Batch: number the micros, then integrate with the same generator — the
+  // id sequence a real pipeline (RetrieveMicroClusters + IntegrateClusters)
+  // produces.
+  std::vector<AtypicalCluster> batch_micros = micros;
+  ClusterIdGenerator batch_ids(1);
+  Renumber(&batch_micros, &batch_ids);
+  IntegrationStats batch_stats;
+  const auto batch =
+      IntegrateClusters(batch_micros, params, &batch_ids, &batch_stats);
+
+  ClusterIdGenerator inc_ids(1);
+  IntegrationStats inc_stats;
+  std::vector<AtypicalCluster> canonical;
+  const auto streamed =
+      StreamAndFinalize(micros, params, &inc_ids, &inc_stats, &canonical);
+
+  ExpectIdentical(batch, streamed);
+  ExpectIdentical(batch_micros, canonical);
+  EXPECT_EQ(batch_stats.merges, inc_stats.merges);
+  EXPECT_EQ(batch_stats.similarity_checks, inc_stats.similarity_checks);
+  EXPECT_EQ(batch_stats.fixpoint_rounds, inc_stats.fixpoint_rounds);
+  EXPECT_EQ(batch_stats.converged, inc_stats.converged);
+}
+
+std::vector<EquivalenceCase> MakeCases() {
+  std::vector<EquivalenceCase> cases;
+  uint64_t seed = 17;
+  for (const BalanceFunction g :
+       {BalanceFunction::kMax, BalanceFunction::kArithmeticMean,
+        BalanceFunction::kHarmonicMean}) {
+    for (const double delta_sim : {0.25, 0.5}) {
+      for (const bool use_index : {true, false}) {
+        for (const bool use_fast_path : {true, false}) {
+          cases.push_back(
+              EquivalenceCase{g, delta_sim, seed++, use_index, use_fast_path});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IncrementalEquivalenceTest,
+                         ::testing::ValuesIn(MakeCases()));
+
+TEST(IncrementalIntegrationTest, MatchesParallelBatchDriver) {
+  std::vector<AtypicalCluster> micros = RandomMicros(100, 14, 99);
+  IntegrationParams params;
+
+  std::vector<AtypicalCluster> batch_micros = micros;
+  ClusterIdGenerator parallel_ids(1);
+  Renumber(&batch_micros, &parallel_ids);
+  ParallelIntegrationParams pparams;
+  pparams.base = params;
+  pparams.num_threads = 3;
+  pparams.min_shard_candidates = 4;
+  const auto parallel =
+      ParallelIntegrateClusters(batch_micros, pparams, &parallel_ids);
+
+  ClusterIdGenerator inc_ids(1);
+  ExpectIdentical(parallel, StreamAndFinalize(micros, params, &inc_ids));
+}
+
+TEST(IncrementalIntegrationTest, PermutedArrivalsStayEquivalent) {
+  std::vector<AtypicalCluster> micros = RandomMicros(90, 12, 4242);
+  IntegrationParams params;
+
+  Rng rng(314159);
+  for (int round = 0; round < 4; ++round) {
+    for (size_t i = micros.size(); i > 1; --i) {
+      std::swap(micros[i - 1], micros[rng.UniformInt(uint64_t{i})]);
+    }
+    std::vector<AtypicalCluster> batch_micros = micros;
+    ClusterIdGenerator batch_ids(1);
+    Renumber(&batch_micros, &batch_ids);
+    const auto batch = IntegrateClusters(batch_micros, params, &batch_ids);
+
+    ClusterIdGenerator inc_ids(1);
+    ExpectIdentical(batch, StreamAndFinalize(micros, params, &inc_ids));
+  }
+}
+
+TEST(IncrementalIntegrationTest, BudgetTrippedPartialMatchesBatch) {
+  std::vector<AtypicalCluster> micros = RandomMicros(120, 8, 2024);
+  IntegrationParams params;
+  params.delta_sim = 0.25;  // merge-heavy so the budget actually bites
+  params.max_fixpoint_rounds = 3;
+
+  std::vector<AtypicalCluster> batch_micros = micros;
+  ClusterIdGenerator batch_ids(1);
+  Renumber(&batch_micros, &batch_ids);
+  IntegrationStats batch_stats;
+  const auto batch =
+      IntegrateClusters(batch_micros, params, &batch_ids, &batch_stats);
+  ASSERT_FALSE(batch_stats.converged);
+
+  ClusterIdGenerator inc_ids(1);
+  IntegrationStats inc_stats;
+  IncrementalIntegrator integrator(params, &inc_ids);
+  for (size_t i = 0; i < micros.size(); ++i) integrator.Accept(micros[i], i);
+  // The per-arrival cascades are budget-capped too; the partial online
+  // partition must still conserve severity mass.
+  double online_mass = 0.0;
+  for (const auto& macro : integrator.MacroSnapshot()) {
+    online_mass += macro.severity();
+  }
+  double input_mass = 0.0;
+  for (const auto& m : micros) input_mass += m.severity();
+  EXPECT_NEAR(online_mass, input_mass, 1e-6);
+
+  const auto streamed = integrator.Finalize(&inc_stats);
+  EXPECT_FALSE(inc_stats.converged);
+  ExpectIdentical(batch, streamed);
+}
+
+TEST(IncrementalIntegrationTest, OnlineBudgetTripLatchesConvergedFalse) {
+  // max_fixpoint_rounds applies per arrival online; with a 1-round budget
+  // any arrival that merges trips it before confirming its fixpoint, so the
+  // online convergence flag must latch false — and Finalize() must still
+  // match the batch run under the same (globally applied) budget.
+  std::vector<AtypicalCluster> micros = RandomMicros(120, 8, 2025);
+  IntegrationParams params;
+  params.delta_sim = 0.25;
+  params.max_fixpoint_rounds = 1;
+
+  std::vector<AtypicalCluster> batch_micros = micros;
+  ClusterIdGenerator batch_ids(1);
+  Renumber(&batch_micros, &batch_ids);
+  const auto batch = IntegrateClusters(batch_micros, params, &batch_ids);
+
+  ClusterIdGenerator inc_ids(1);
+  IncrementalIntegrator integrator(params, &inc_ids);
+  for (size_t i = 0; i < micros.size(); ++i) integrator.Accept(micros[i], i);
+  EXPECT_GT(integrator.online_stats().budget_trips, 0u);
+  EXPECT_FALSE(integrator.online_stats().converged);
+  ExpectIdentical(batch, integrator.Finalize());
+}
+
+TEST(IncrementalIntegrationTest, OnlineStateIsAFixpointAfterEveryArrival) {
+  std::vector<AtypicalCluster> micros = RandomMicros(60, 10, 77);
+  IntegrationParams params;
+  ClusterIdGenerator ids(1);
+  IncrementalIntegrator integrator(params, &ids);
+  double fed_mass = 0.0;
+  for (size_t i = 0; i < micros.size(); ++i) {
+    integrator.Accept(micros[i], i);
+    fed_mass += micros[i].severity();
+  }
+  ASSERT_TRUE(integrator.online_stats().converged);
+  const auto snapshot = integrator.MacroSnapshot();
+  EXPECT_EQ(snapshot.size(), integrator.num_macros());
+  double snapshot_mass = 0.0;
+  for (const auto& macro : snapshot) snapshot_mass += macro.severity();
+  EXPECT_NEAR(snapshot_mass, fed_mass, 1e-6);
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    for (size_t j = i + 1; j < snapshot.size(); ++j) {
+      ASSERT_LE(Similarity(snapshot[i], snapshot[j], params.g),
+                params.delta_sim);
+    }
+  }
+}
+
+TEST(IncrementalIntegrationTest, ScratchIdsNeverTouchTheRealGenerator) {
+  std::vector<AtypicalCluster> micros = RandomMicros(40, 6, 5);
+  IntegrationParams params;
+  params.delta_sim = 0.25;
+  ClusterIdGenerator ids(1);
+  IncrementalIntegrator integrator(params, &ids);
+  for (size_t i = 0; i < micros.size(); ++i) integrator.Accept(micros[i], i);
+  ASSERT_GT(integrator.online_stats().online_merges, 0u)
+      << "workload too sparse to exercise provisional merge ids";
+  for (const auto& macro : integrator.MacroSnapshot()) {
+    EXPECT_GE(macro.id, ClusterId{1} << 40) << "snapshot ids are provisional";
+  }
+  // The real sequence starts only at Finalize: first canonical micro is 1.
+  std::vector<AtypicalCluster> canonical;
+  integrator.Finalize(nullptr, &canonical);
+  ASSERT_FALSE(canonical.empty());
+  EXPECT_EQ(canonical.front().id, 1u);
+}
+
+TEST(IncrementalIntegrationTest, ResetServesASecondCycle) {
+  const auto day1 = RandomMicros(50, 8, 21);
+  const auto day2 = RandomMicros(70, 8, 22);
+  IntegrationParams params;
+
+  // Batch reference: one generator spanning both days, like a forest's.
+  ClusterIdGenerator batch_ids(1);
+  std::vector<AtypicalCluster> b1 = day1;
+  Renumber(&b1, &batch_ids);
+  const auto batch1 = IntegrateClusters(b1, params, &batch_ids);
+  std::vector<AtypicalCluster> b2 = day2;
+  Renumber(&b2, &batch_ids);
+  const auto batch2 = IntegrateClusters(b2, params, &batch_ids);
+
+  ClusterIdGenerator inc_ids(1);
+  IncrementalIntegrator integrator(params, &inc_ids);
+  for (size_t i = 0; i < day1.size(); ++i) integrator.Accept(day1[i], i);
+  ExpectIdentical(batch1, integrator.Finalize());
+  integrator.Reset();
+  EXPECT_EQ(integrator.num_micros(), 0u);
+  EXPECT_EQ(integrator.num_macros(), 0u);
+  for (size_t i = 0; i < day2.size(); ++i) integrator.Accept(day2[i], i);
+  ExpectIdentical(batch2, integrator.Finalize());
+}
+
+TEST(IncrementalIntegrationTest, EmptyFinalize) {
+  IntegrationParams params;
+  ClusterIdGenerator ids(1);
+  IncrementalIntegrator integrator(params, &ids);
+  IntegrationStats stats;
+  EXPECT_TRUE(integrator.Finalize(&stats).empty());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.merges, 0u);
+}
+
+TEST(IncrementalIntegrationDeathTest, AcceptAfterFinalizeDies) {
+  IntegrationParams params;
+  ClusterIdGenerator ids(1);
+  IncrementalIntegrator integrator(params, &ids);
+  const auto micros = RandomMicros(1, 4, 1);
+  integrator.Accept(micros[0], 0);
+  integrator.Finalize();
+  EXPECT_DEATH(integrator.Accept(micros[0], 1), "Accept after Finalize");
+}
+
+}  // namespace
+}  // namespace atypical

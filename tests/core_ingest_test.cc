@@ -284,5 +284,43 @@ TEST_F(IngestTest, StrictCleanStreamMatchesRawBuilder) {
   EXPECT_EQ(stats.accepted, records.size());
 }
 
+TEST_F(IngestTest, ResetServesConsecutiveDays) {
+  // One guard across two feeds whose window ids restart (the worst case:
+  // the exact same stream again).  Reset() must rewind the inner builder's
+  // window watermark AND clear the guard's own dedup state — every re-fed
+  // (window, sensor) pair is a fresh observation, not a duplicate.  Stats
+  // stay cumulative across Reset().
+  const std::vector<AtypicalRecord> feed =
+      workload_->generator->GenerateMonthAtypical(0);
+
+  std::vector<AtypicalCluster> emitted;
+  ClusterIdGenerator ids(1);
+  RobustStreamingEventBuilder guard(
+      workload_->sensors.get(), grid_, params_, &ids,
+      [&](AtypicalCluster c) { emitted.push_back(std::move(c)); });
+  for (const AtypicalRecord& r : feed) guard.Add(r);
+  guard.Reset();
+  EXPECT_EQ(guard.buffered(), 0u);
+  EXPECT_EQ(guard.open_events(), 0u);
+  const size_t after_first = emitted.size();
+  // Without the dedup clear every record would be quarantined as a
+  // duplicate; without the watermark rewind the inner builder would die.
+  for (const AtypicalRecord& r : feed) guard.Add(r);
+  guard.Flush();
+
+  EXPECT_TRUE(guard.stats().Reconciles());
+  EXPECT_EQ(guard.stats().records_in, 2 * feed.size());
+  EXPECT_EQ(guard.stats().accepted, 2 * feed.size());
+  EXPECT_EQ(guard.stats().quarantined(), 0u);
+
+  const auto batch_sigs = Signatures(Batch(feed));
+  EXPECT_EQ(Signatures({emitted.begin(),
+                        emitted.begin() + static_cast<long>(after_first)}),
+            batch_sigs);
+  EXPECT_EQ(Signatures({emitted.begin() + static_cast<long>(after_first),
+                        emitted.end()}),
+            batch_sigs);
+}
+
 }  // namespace
 }  // namespace atypical

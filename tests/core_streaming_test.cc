@@ -9,6 +9,8 @@
 
 #include "analytics/report.h"
 #include "gen/workload.h"
+#include "util/hash_perturb.h"
+#include "util/random.h"
 #include "util/string_util.h"
 
 namespace atypical {
@@ -258,6 +260,136 @@ TEST_F(StreamingTest, DiesOnOutOfOrderRecords) {
   builder.Add({0, grid_.MakeWindow(0, 20), 5.0f, kNoEvent});
   EXPECT_DEATH(builder.Add({0, grid_.MakeWindow(0, 19), 5.0f, kNoEvent}),
                "non-decreasing window order");
+}
+
+TEST_F(StreamingTest, MergedEventRecordOrderMatchesBatchBitwise) {
+  // Regression: a bridging merge used to re-sort the combined records by
+  // window only, so equal-window records interleaved across the two events
+  // lost their global arrival order — and the feature sums, accumulated in
+  // a different floating-point order, silently drifted from batch at the
+  // bit level.  The arrival-seq sort must reproduce batch exactly.
+  //
+  // Road-network distances make the bridging triple constructible: three
+  // consecutive sensors on one highway at mileposts m0 < m1 < m2 with
+  // δd = m2 - m0 give d01, d12 < δd (related) and d02 = δd (not related,
+  // the relation is strict <).
+  SensorId a = kInvalidSensor;
+  SensorId mid = kInvalidSensor;
+  SensorId b = kInvalidSensor;
+  for (int h = 0; h < workload_->sensors->num_highways(); ++h) {
+    const auto& line = workload_->sensors->SensorsOnHighway(h);
+    if (line.size() >= 3) {
+      a = line[0];
+      mid = line[1];
+      b = line[2];
+      break;
+    }
+  }
+  ASSERT_NE(mid, kInvalidSensor) << "no highway with three sensors";
+  RetrievalParams params = params_;
+  params.metric = DistanceMetric::kRoadNetwork;
+  params.delta_d_miles = workload_->sensors->sensor(b).mile_post -
+                         workload_->sensors->sensor(a).mile_post;
+
+  // Two same-window record groups interleaved in arrival order, then the
+  // bridge.  The severities span ~2^40 in magnitude so double summation
+  // rounds: float inputs within a narrow exponent range sum exactly in any
+  // order (24-bit mantissas in a 52-bit accumulator), which would hide a
+  // reorder.  With the spread, the shared window's severity sum has
+  // order-dependent low bits (verified: the pre-fix window-keyed re-sort
+  // fails this test).
+  Rng severity_rng(1);
+  const WindowId w = grid_.MakeWindow(0, 30);
+  std::vector<AtypicalRecord> feed;
+  for (int i = 0; i < 20; ++i) {
+    feed.push_back(
+        {a, w, static_cast<float>(severity_rng.Uniform(1.0, 13.0)), kNoEvent});
+    feed.push_back(
+        {b, w, static_cast<float>(1e-12 * severity_rng.Uniform(1.0, 10.0)),
+         kNoEvent});
+  }
+  feed.push_back({mid, w, 5.0f, kNoEvent});
+
+  for (const uint64_t perturbation : {uint64_t{0}, uint64_t{257},
+                                      uint64_t{7919}}) {
+    SetHashLayoutPerturbation(perturbation);
+    ClusterIdGenerator batch_ids(1);
+    const auto batch = RetrieveMicroClusters(feed, *workload_->sensors, grid_,
+                                             params, &batch_ids);
+    std::vector<AtypicalCluster> streamed;
+    uint64_t first_seq = ~uint64_t{0};
+    ClusterIdGenerator stream_ids(1);
+    StreamingEventBuilder builder(
+        workload_->sensors.get(), grid_, params, &stream_ids,
+        [&](AtypicalCluster c, uint64_t seq) {
+          streamed.push_back(std::move(c));
+          first_seq = seq;
+        });
+    for (const AtypicalRecord& r : feed) builder.Add(r);
+    builder.Flush();
+
+    ASSERT_EQ(batch.size(), 1u) << "perturbation " << perturbation;
+    ASSERT_EQ(streamed.size(), 1u) << "perturbation " << perturbation;
+    // The merged event's earliest record is the very first fed record.
+    EXPECT_EQ(first_seq, 0u);
+    // Bit-exact feature equality, not the %.1f signature approximation.
+    EXPECT_EQ(streamed[0].spatial, batch[0].spatial)
+        << "perturbation " << perturbation;
+    EXPECT_EQ(streamed[0].temporal, batch[0].temporal)
+        << "perturbation " << perturbation;
+    EXPECT_EQ(streamed[0].num_records, batch[0].num_records);
+  }
+  SetHashLayoutPerturbation(0);
+}
+
+TEST_F(StreamingTest, FlushAloneDoesNotRearmForANewDay) {
+  // Regression for the documented misuse: Flush() clears the open events
+  // but keeps the window watermark, so feeding the next day's (restarted)
+  // window ids must die — Reset() is the supported path.
+  ClusterIdGenerator ids(1);
+  StreamingEventBuilder builder(workload_->sensors.get(), grid_, params_,
+                                &ids, [](AtypicalCluster) {});
+  builder.Add({0, grid_.MakeWindow(1, 10), 5.0f, kNoEvent});
+  builder.Flush();
+  EXPECT_DEATH(builder.Add({0, grid_.MakeWindow(0, 5), 5.0f, kNoEvent}),
+               "non-decreasing window order");
+}
+
+TEST_F(StreamingTest, ResetServesConsecutiveDays) {
+  const std::vector<AtypicalRecord> day0 =
+      workload_->generator->GenerateMonthAtypical(0);
+  const std::vector<AtypicalRecord> day1 =
+      workload_->generator->GenerateMonthAtypical(1);
+
+  std::vector<AtypicalCluster> emitted;
+  ClusterIdGenerator ids(1);
+  StreamingEventBuilder builder(
+      workload_->sensors.get(), grid_, params_, &ids,
+      [&](AtypicalCluster c) { emitted.push_back(std::move(c)); });
+
+  for (const AtypicalRecord& r : day0) builder.Add(r);
+  builder.Reset();
+  EXPECT_EQ(builder.records_seen(), 0u);
+  EXPECT_EQ(builder.open_events(), 0u);
+  const size_t after_day0 = emitted.size();
+
+  // Same builder, restarted window ids: must not die, and must reproduce
+  // the second stream's batch events.
+  for (const AtypicalRecord& r : day1) builder.Add(r);
+  builder.Flush();
+
+  ClusterIdGenerator batch_ids(1);
+  const auto batch0 = RetrieveMicroClusters(day0, *workload_->sensors, grid_,
+                                            params_, &batch_ids);
+  const auto batch1 = RetrieveMicroClusters(day1, *workload_->sensors, grid_,
+                                            params_, &batch_ids);
+  EXPECT_EQ(after_day0, batch0.size());
+  EXPECT_EQ(Signatures({emitted.begin(),
+                        emitted.begin() + static_cast<long>(after_day0)}),
+            Signatures(batch0));
+  EXPECT_EQ(Signatures({emitted.begin() + static_cast<long>(after_day0),
+                        emitted.end()}),
+            Signatures(batch1));
 }
 
 }  // namespace
