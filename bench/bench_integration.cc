@@ -83,8 +83,15 @@ int main(int argc, char** argv) {
   // --clusters N replaces the {500, 1000, 2000} sweep with a single row —
   // CI's bench-smoke job uses it to keep the run tiny.
   const int64_t clusters_override = flags.GetInt("clusters", 0);
+  // Each timing is repeated --reps times; the table and summary report the
+  // median, the summary also keeps the raw samples.
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 2;
+  }
+  if (reps < 1) {
+    std::fprintf(stderr, "--reps must be >= 1\n");
     return 2;
   }
   std::vector<int> row_sizes = {500, 1000, 2000};
@@ -104,6 +111,7 @@ int main(int argc, char** argv) {
   IntegrationParams base;
   base.delta_sim = 0.7;  // scan-bound: see MakeMicros comment
 
+  bench::BenchSummary summary("bench_integration");
   Table table({"clusters", "hw_threads", "serial (ms)", "2t (ms)", "4t (ms)",
                "speedup 2t", "speedup 4t", "exact scans", "pruned"});
   for (const int n : row_sizes) {
@@ -114,10 +122,25 @@ int main(int argc, char** argv) {
                                    &ids);
     size_t serial_clusters = 0;
     IntegrationStats serial_stats;
-    const double serial_ms =
-        RunSerial(micros, base, &serial_clusters, &serial_stats);
-    const double p2_ms = RunParallel(micros, base, 2, serial_clusters);
-    const double p4_ms = RunParallel(micros, base, 4, serial_clusters);
+    std::vector<double> serial_s, p2_s, p4_s;
+    for (int rep = 0; rep < reps; ++rep) {
+      serial_s.push_back(
+          RunSerial(micros, base, &serial_clusters, &serial_stats) / 1e3);
+      p2_s.push_back(RunParallel(micros, base, 2, serial_clusters) / 1e3);
+      p4_s.push_back(RunParallel(micros, base, 4, serial_clusters) / 1e3);
+    }
+    for (const double s : serial_s) {
+      summary.AddSample(StrPrintf("serial.n=%d", n), s);
+    }
+    for (const double s : p2_s) {
+      summary.AddSample(StrPrintf("parallel2.n=%d", n), s);
+    }
+    for (const double s : p4_s) {
+      summary.AddSample(StrPrintf("parallel4.n=%d", n), s);
+    }
+    const double serial_ms = bench::MedianSeconds(serial_s) * 1e3;
+    const double p2_ms = bench::MedianSeconds(p2_s) * 1e3;
+    const double p4_ms = bench::MedianSeconds(p4_s) * 1e3;
     table.AddRow({StrPrintf("%d", n), StrPrintf("%u", hw),
                   StrPrintf("%.1f", serial_ms), StrPrintf("%.1f", p2_ms),
                   StrPrintf("%.1f", p4_ms),
@@ -127,8 +150,15 @@ int main(int argc, char** argv) {
                             (unsigned long long)serial_stats.exact_scans),
                   StrPrintf("%llu",
                             (unsigned long long)serial_stats.pruned_scans)});
+    summary.AddCounter(StrPrintf("exact_scans.n=%d", n),
+                       serial_stats.exact_scans);
+    summary.AddCounter(StrPrintf("pruned_scans.n=%d", n),
+                       serial_stats.pruned_scans);
   }
+  summary.AddCounter("hw_threads", hw);
+  summary.AddCounter("reps", static_cast<uint64_t>(reps));
   bench::EmitTable("bench_integration", table);
+  summary.WriteJson();
   if (hw < 4) {
     std::printf(
         "\nnote: only %u hardware thread(s) available — parallel rows "

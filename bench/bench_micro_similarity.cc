@@ -188,12 +188,19 @@ int main(int argc, char** argv) {
   }
 
   SimilarityScanStats totals;
+  bench::BenchSummary summary("bench_micro_similarity");
   Table table({"regime", "g", "pairs", "exact scans", "pruned", "pruned %",
                "fast (ms)", "exact (ms)", "speedup"});
   for (const Regime& regime : regimes) {
     for (const BalanceFunction g : kAllBalanceFunctions) {
       const SweepResult r = SweepAllPairs(regime.clusters, g, delta_sim);
       totals += r.stats;
+      summary.AddSample(
+          StrPrintf("%s.%s.fast", regime.name, BalanceFunctionName(g)),
+          r.fast_ms / 1e3);
+      summary.AddSample(
+          StrPrintf("%s.%s.exact", regime.name, BalanceFunctionName(g)),
+          r.exact_ms / 1e3);
       const uint64_t decided = r.stats.exact_scans + r.stats.pruned_scans;
       table.AddRow(
           {regime.name, BalanceFunctionName(g), StrPrintf("%llu", (unsigned long long)r.pairs),
@@ -207,7 +214,10 @@ int main(int argc, char** argv) {
            StrPrintf("%.2fx", r.exact_ms / std::max(r.fast_ms, 1e-6))});
     }
   }
+  summary.AddCounter("similarity.exact_scans", totals.exact_scans);
+  summary.AddCounter("similarity.pruned", totals.pruned_scans);
   bench::EmitTable("bench_micro_similarity", table);
+  summary.WriteJson();
 
   // Publish the sweep's accounting under the pipeline counter names so a
   // --stats=json dump of this bench carries the same schema CI checks on

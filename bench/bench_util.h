@@ -6,11 +6,14 @@
 #ifndef ATYPICAL_BENCH_BENCH_UTIL_H_
 #define ATYPICAL_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <sys/stat.h>
+#include <vector>
 
 #include "obs/snapshot.h"
 #include "obs/stats.h"
@@ -58,6 +61,91 @@ inline void PrintHeader(const std::string& figure,
   std::printf("paper shape: %s\n", paper_shape.c_str());
   std::printf("==================================================\n");
 }
+
+// Median of the raw samples; the summary stores both so plots can show
+// spread while CI compares one number.
+inline double MedianSeconds(std::vector<double> samples) {
+  CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+// Machine-readable companion to EmitTable's CSV: series name → raw timing
+// samples plus their median, and a flat counters map.  Written to
+// bench_results/<bench>_summary.json (schema_version 1, schema
+// scripts/bench_summary_schema.json, validated by
+// scripts/check_bench_summary.py in the bench-smoke CI job), so tooling
+// consumes one stable format instead of scraping bench stdout.
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string bench) : bench_(std::move(bench)) {}
+
+  void AddSample(const std::string& series, double seconds) {
+    series_[series].push_back(seconds);
+  }
+  void AddCounter(const std::string& name, uint64_t value) {
+    counters_[name] = value;
+  }
+
+  void WriteJson() const {
+    ::mkdir("bench_results", 0755);
+    const std::string path = "bench_results/" + bench_ + "_summary.json";
+    std::string out = "{\n  \"schema_version\": 1,\n  \"bench\": ";
+    AppendJsonString(bench_, &out);
+    out += ",\n  \"series\": {";
+    bool first = true;
+    for (const auto& [name, samples] : series_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendJsonString(name, &out);
+      out += StrPrintf(": {\"median_seconds\": %.9g, \"samples\": [",
+                       MedianSeconds(samples));
+      for (size_t i = 0; i < samples.size(); ++i) {
+        out += StrPrintf(i == 0 ? "%.9g" : ", %.9g", samples[i]);
+      }
+      out += "]}";
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"counters\": {";
+    first = true;
+    for (const auto& [name, value] : counters_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendJsonString(name, &out);
+      out += StrPrintf(": %llu", (unsigned long long)value);
+    }
+    out += first ? "}\n}\n" : "\n  }\n}\n";
+    std::ofstream file(path, std::ios::trunc);
+    file << out;
+    if (file) {
+      std::printf("(summary written to %s)\n", path.c_str());
+    } else {
+      std::printf("(summary not written: cannot open %s)\n", path.c_str());
+    }
+  }
+
+ private:
+  static void AppendJsonString(const std::string& s, std::string* out) {
+    out->push_back('"');
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out->push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        *out += StrPrintf("\\u%04x", c);
+      } else {
+        out->push_back(c);
+      }
+    }
+    out->push_back('"');
+  }
+
+  std::string bench_;
+  std::map<std::string, std::vector<double>> series_;  // seconds
+  std::map<std::string, uint64_t> counters_;
+};
 
 inline void EmitTable(const std::string& name, const Table& table) {
   std::printf("\n%s\n", table.ToAlignedString().c_str());

@@ -80,6 +80,7 @@ import argparse
 import concurrent.futures
 import dataclasses
 import json
+import os
 import pathlib
 import re
 import shutil
@@ -510,12 +511,17 @@ def _compile_header_alone(compiler: str, header: pathlib.Path) -> str:
 
 
 def check_headers_self_contained(compiler: str = "g++",
-                                 jobs: int = 4) -> list[Finding]:
+                                 jobs: int | None = None) -> list[Finding]:
     """AL007: every src/**/*.h compiles in isolation.
 
     A header that passes can be included first from any file, so
-    include-order coupling cannot creep in.
+    include-order coupling cannot creep in.  Compiles fan out across all
+    cores by default (each worker shells out to the compiler, so threads
+    are enough); findings stay in sorted-header order regardless of which
+    compile finishes first.
     """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
     if shutil.which(compiler) is None:
         print(f"error: AL007 needs a C++ compiler; {compiler!r} not found "
               "(use --skip via lint_all.sh, or install one)", file=sys.stderr)
@@ -1053,6 +1059,9 @@ def main() -> int:
     parser.add_argument("paths", nargs="*", default=None)
     parser.add_argument("--with-includes", action="store_true",
                         help="also run AL007 (needs a C++ compiler)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel AL007 header compiles "
+                             "(default: all cores)")
     parser.add_argument("--self-test", action="store_true")
     parser.add_argument("--list-discards", action="store_true")
     args = parser.parse_args()
@@ -1068,7 +1077,7 @@ def main() -> int:
 
     findings = lint_paths(paths)
     if args.with_includes:
-        findings.extend(check_headers_self_contained())
+        findings.extend(check_headers_self_contained(jobs=args.jobs))
     for finding in findings:
         print(finding.render())
     if findings:

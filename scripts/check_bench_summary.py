@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a bench_results/<bench>_summary.json emitted by bench::BenchSummary.
+
+Checks the document against scripts/bench_summary_schema.json (reusing
+check_stats_schema.py's stdlib JSON-Schema subset), then that every series'
+stored median actually is the median of its samples — a bench that edits one
+without the other fails here, not in a plot much later.
+
+Usage:
+    scripts/check_bench_summary.py SUMMARY.json
+        [--schema scripts/bench_summary_schema.json]
+        [--require-series NAME]...   # fail unless NAME has samples
+
+Exit status: 0 if the document conforms (and every required series exists),
+1 otherwise, with one line per violation on stderr.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from check_stats_schema import validate
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def median(samples):
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n % 2 == 1:
+        return ordered[n // 2]
+    return 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("summary", type=pathlib.Path)
+    parser.add_argument(
+        "--schema", type=pathlib.Path,
+        default=REPO / "scripts/bench_summary_schema.json",
+    )
+    parser.add_argument(
+        "--require-series",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless series NAME is present with at least one sample",
+    )
+    args = parser.parse_args()
+
+    try:
+        document = json.loads(args.summary.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.summary}: not readable as JSON: {e}", file=sys.stderr)
+        return 1
+    schema = json.loads(args.schema.read_text())
+
+    errors: list[str] = []
+    validate(document, schema, "$", errors)
+
+    if not errors:
+        series = document["series"]
+        for name, entry in series.items():
+            if not entry["samples"]:
+                errors.append(f"$.series.{name}: empty samples array")
+            elif abs(entry["median_seconds"] - median(entry["samples"])) > \
+                    1e-9 * max(1.0, entry["median_seconds"]):
+                errors.append(
+                    f"$.series.{name}: median_seconds "
+                    f"{entry['median_seconds']} is not the median of samples")
+        for name in args.require_series:
+            if name not in series:
+                errors.append(f"$.series.{name}: required series missing")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"{args.summary}: conforms to bench summary schema "
+              f"v{document['schema_version']} "
+              f"({len(document['series'])} series, "
+              f"{len(document['counters'])} counters)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

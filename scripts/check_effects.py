@@ -1,0 +1,677 @@
+#!/usr/bin/env python3
+"""Serving-readiness check: hot query paths stay lock-free, I/O-free, and
+allocation-budgeted (DESIGN §15).
+
+ROADMAP item 3 turns QueryEngine into a high-QPS concurrent server, which is
+only safe on reader paths that provably do not block, do not touch I/O, and
+do not allocate unboundedly per query.  This check makes that contract
+mechanical:
+
+  1. A brace/comment-aware extractor parses every function definition under
+     src/ and resolves intra-repo calls into a function-level call graph.
+  2. Direct effects are seeded from the code: `allocates` (new/make_unique/
+     container growth), `blocks` (util::Mutex, MutexLock, CondVar, joins),
+     `io` (streams, stdio, LOG(INFO/WARNING/ERROR)), `throws` (throw,
+     stoi-family).  Seeds propagate transitively over the call graph.
+  3. Functions annotated ATYPICAL_HOT (util/hot_path.h) are gated:
+       AL013 hot-path-no-block     hot function reaches a blocking call
+       AL014 hot-path-no-io        hot function reaches I/O
+       AL015 hot-path-alloc-budget hot function allocates without a budget
+     `throws` is tracked and shown by --explain but not gated (the repo
+     builds with exceptions; Status/Result discipline is AL001–AL006's job).
+  4. `scripts/effects_ratchet.json` grandfathers existing violations per
+     (function, effect) with a mandatory burn-down note.  A ratchet entry is
+     the allocation *budget declaration* for AL015; the runtime counterpart
+     (util/alloc_probe.h, tests/alloc_probe_test.cc) pins the actual counts.
+     Stale entries are findings: delete them, that is the burn-down.
+
+Exemption policy (what the extractor deliberately ignores):
+  - statements beginning with `static` — one-time initialization (the
+    `static obs::Counter* const c = Registry()->GetCounter(...)` idiom
+    locks once per process, not per query);
+  - CHECK/DCHECK/LOG(FATAL) statements — failure-path only; a hot path
+    that dies is not a hot path that blocks;
+  - a trailing `// NOEFFECT(effect): reason` comment suppresses seeding
+    that effect from its line (e.g. a shrink-only resize());
+    `// NOEFFECT(calls): reason` drops the line's call edges (escape
+    hatch for name-collision false positives — resolution is by name, so
+    one `Add` matches every class's `Add`).
+
+Usage:
+  scripts/check_effects.py                   check src/ against the ratchet
+  scripts/check_effects.py --self-test       fixture suite in
+                                             scripts/lint_fixtures/effects/
+  scripts/check_effects.py --explain FUNC    print FUNC's effect call chains
+  scripts/check_effects.py --list-hot        dump hot functions + effects
+  scripts/check_effects.py --root DIR [--ratchet F]   check any tree
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from atypical_lint import strip_comments  # noqa: E402
+
+SOURCE_GLOBS = ("*.h", "*.cc")
+HOT_TOKEN = "ATYPICAL_HOT"
+EFFECTS = ("blocks", "io", "allocates", "throws")
+GATED = {
+    "blocks": ("AL013", "hot-path-no-block"),
+    "io": ("AL014", "hot-path-no-io"),
+    "allocates": ("AL015", "hot-path-alloc-budget"),
+}
+
+# ---------------------------------------------------------------------------
+# Direct-effect seeds.  Patterns run on the comment/string/preprocessor-
+# blanked code, after the exempt statements have been blanked too.
+
+ALLOC_CALLS = {
+    "push_back", "emplace_back", "emplace", "emplace_front", "push_front",
+    "insert", "try_emplace", "resize", "reserve", "assign", "append",
+    "push", "make_unique", "make_shared", "to_string", "substr",
+    "stable_sort", "str",
+}
+IO_CALLS = {
+    "fopen", "fclose", "fread", "fwrite", "fprintf", "printf", "vfprintf",
+    "fputs", "puts", "fputc", "fgets", "fgetc", "fflush", "fseek", "ftell",
+    "rewind", "remove", "rename", "fsync", "perror", "getline", "system",
+}
+THROW_CALLS = {"stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod"}
+
+# (effect, regex, human label).  Call-name seeds above are matched through
+# the call extractor; these catch non-call syntax.
+TOKEN_SEEDS = [
+    ("allocates", re.compile(r"(?<!\w)new\s"), "new"),
+    # The call extractor needs `name(`; these are routinely written with
+    # template arguments in between.
+    ("allocates", re.compile(r"\bmake_(?:unique|shared)\b"),
+     "make_unique/make_shared"),
+    ("allocates",
+     re.compile(r"\bstd::(?:vector|string|deque|map|set|unordered_map|"
+                r"unordered_set|multimap|multiset)\s*<[^;{}()]*>\s+\w+\s*"
+                r"\(\s*[^)\s]"),
+     "container constructed with contents"),
+    ("blocks", re.compile(r"\bMutexLock\b"), "MutexLock"),
+    ("blocks", re.compile(r"\bCondVar\b"), "CondVar"),
+    ("blocks", re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock|"
+                          r"shared_lock|mutex|condition_variable)\b"),
+     "std sync primitive"),
+    ("blocks", re.compile(r"(?:\.|->)\s*(?:Lock|Await|Wait|WaitFor)\s*\("),
+     "lock/wait call"),
+    ("blocks", re.compile(r"(?:\.|->)\s*(?:lock|unlock|join)\s*\("),
+     "lock/join call"),
+    ("blocks", re.compile(r"\bsleep_(?:for|until)\b"), "sleep"),
+    ("io", re.compile(r"\bstd::(?:cout|cerr|clog|cin)\b"), "std stream"),
+    ("io", re.compile(r"\b(?:std::)?[io]?fstream\b"), "file stream"),
+    ("io", re.compile(r"\bLOG\s*\(\s*(?:INFO|WARNING|ERROR)\s*\)"),
+     "LOG()"),
+    ("throws", re.compile(r"\bthrow\b"), "throw"),
+]
+
+# Statements blanked before seeding/call extraction (see module docstring).
+EXEMPT_STMT_RES = [
+    re.compile(r"\b(?:DCHECK|CHECK)(?:_[A-Z]+)?\s*\(.*?;", re.S),
+    re.compile(r"\bLOG\s*\(\s*FATAL\s*\).*?;", re.S),
+    re.compile(r"(?<![\w_])static\s[^;{}]*;"),
+]
+
+CALL_RE = re.compile(r"(?<![\w:])((?:\w+::)*~?\w+)\s*\(")
+NON_CALLS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "assert", "defined", "alignas", "typeid",
+    "static_assert", "new", "delete", "throw", "case", "this",
+    "int", "char", "bool", "float", "double", "unsigned", "long", "short",
+    "auto", "void", "size_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t", "int16_t", "int32_t", "int64_t", "ptrdiff_t",
+}
+
+NOEFFECT_RE = re.compile(r"NOEFFECT\((\w+)\)")
+NOEFFECT_JUSTIFIED_RE = re.compile(r"NOEFFECT\((\w+)\)\s*:\s*\S")
+
+
+@dataclasses.dataclass
+class FunctionNode:
+    qname: str
+    file: str = ""
+    line: int = 0
+    hot: bool = False
+    hot_sites: list = dataclasses.field(default_factory=list)
+    # callee qname -> line of the first call site
+    calls: dict = dataclasses.field(default_factory=dict)
+    # effect -> ("direct", detail, file, line) | ("call", callee, file, line)
+    cause: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def effects(self) -> set:
+        return set(self.cause)
+
+
+@dataclasses.dataclass
+class RawFunction:
+    qname: str
+    file: str
+    line: int
+    hot: bool
+    body: str            # blanked code of the body (offsets file-absolute)
+    body_start: int      # offset of the body in the file's code text
+
+
+def blank_preserving_newlines(m: re.Match) -> str:
+    return re.sub(r"[^\n]", " ", m.group(0))
+
+
+def blank_preprocessor(code_lines: list[str]) -> list[str]:
+    """Blanks #-directives (incl. backslash continuations) so macro bodies
+    like `#define ATYPICAL_HOT __attribute__((hot))` are not parsed."""
+    out = []
+    in_directive = False
+    for line in code_lines:
+        is_directive = in_directive or line.lstrip().startswith("#")
+        out.append(" " * len(line) if is_directive else line)
+        in_directive = is_directive and line.rstrip().endswith("\\")
+    return out
+
+
+def strip_template_prefix(head: str) -> str:
+    h = head.lstrip()
+    while h.startswith("template"):
+        lt = h.find("<")
+        if lt == -1:
+            break
+        depth, i = 0, lt
+        while i < len(h):
+            if h[i] == "<":
+                depth += 1
+            elif h[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        h = h[i + 1:].lstrip()
+    return h
+
+
+TYPE_HEAD_RE = re.compile(r"^(?:class|struct|union|enum(?:\s+class|\s+struct)?)\b")
+NAMESPACE_HEAD_RE = re.compile(r"^(?:inline\s+)?namespace\b")
+NAME_BEFORE_PAREN_RE = re.compile(
+    r"((?:~?\w+\s*::\s*)*(?:~?\w+|operator[^\s(]+))\s*$")
+FUNC_TAIL_RE = re.compile(
+    r"^(?:\s*(?:const|noexcept(?:\s*\([^()]*\))?|override|final|mutable|"
+    r"&&?|try|->\s*[\w:<>,&*\s]+|[A-Z][A-Z_0-9]*(?:\s*\([^()]*\))?))*"
+    r"\s*(?::.*)?$", re.S)
+
+
+def classify_head(head: str):
+    """Returns (kind, name): kind in {namespace, type, function, opaque}."""
+    h = strip_template_prefix(head).strip()
+    if not h:
+        return ("opaque", "")
+    if NAMESPACE_HEAD_RE.match(h):
+        names = re.findall(r"namespace\s+([\w:]+)", h)
+        return ("namespace", names[0] if names else "")
+    m = TYPE_HEAD_RE.match(h)
+    if m:
+        rest = h[m.end():]
+        # Drop annotation macros (ATYPICAL_CAPABILITY("mutex") etc.), final,
+        # alignas, then the base clause.
+        rest = re.sub(r"\b[A-Z][A-Z_0-9]+\s*\([^()]*\)", " ", rest)
+        rest = re.sub(r"\bfinal\b|\balignas\s*\([^()]*\)", " ", rest)
+        rest = rest.split(":", 1)[0]
+        nm = re.match(r"\s*(\w+)", rest)
+        return ("type", nm.group(1) if nm else "")
+    if h.endswith("="):  # brace initializer `Foo x = {...}`
+        return ("opaque", "")
+    # Function definition: find the parameter list — the first top-level
+    # paren group preceded by a plausible name — and require the tail after
+    # its `)` to be qualifiers / ctor-initializer only.
+    paren = h.find("(")
+    while paren != -1:
+        nm = NAME_BEFORE_PAREN_RE.search(h[:paren])
+        if nm is None:
+            return ("opaque", "")
+        name = re.sub(r"\s+", "", nm.group(1))
+        if name.split("::")[-1] in NON_CALLS:
+            return ("opaque", "")
+        depth, i = 0, paren
+        while i < len(h):
+            if h[i] == "(":
+                depth += 1
+            elif h[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if depth != 0:
+            return ("opaque", "")
+        if FUNC_TAIL_RE.match(h[i + 1:]):
+            return ("function", name)
+        paren = h.find("(", i + 1)
+    return ("opaque", "")
+
+
+def qualify(name: str, scopes: list) -> str:
+    """Builds the qualified name from enclosing namespaces/types.
+
+    The project namespace `atypical` and anonymous namespaces are dropped so
+    declarations and out-of-line definitions land on the same key."""
+    parts = [s[1] for s in scopes
+             if s[1] and s[1] not in ("atypical",)]
+    return "::".join(parts + [name]) if parts else name
+
+
+def parse_file(rel: str, text: str):
+    """Returns (raw functions, hot declaration sites, comment lines)."""
+    code_lines, comment_lines = strip_comments(text)
+    code_lines = blank_preprocessor(code_lines)
+    code = "\n".join(code_lines)
+    newlines = [i for i, ch in enumerate(code) if ch == "\n"]
+
+    def line_of(offset: int) -> int:
+        return bisect.bisect_right(newlines, offset - 1) + 1
+
+    raw_funcs: list[RawFunction] = []
+    hot_decls: list[tuple[str, int]] = []  # (qname, line)
+    scopes: list[tuple[str, str]] = []     # (kind, name)
+    stmt_start = 0
+    i, n = 0, len(code)
+    while i < n:
+        ch = code[i]
+        if ch == "{":
+            head = code[stmt_start:i]
+            kind, name = classify_head(head)
+            if kind in ("namespace", "type"):
+                scopes.append((kind, name))
+                stmt_start = i + 1
+                i += 1
+                continue
+            # Function definition or opaque initializer: skip to the
+            # matching close brace either way (control-flow braces only
+            # occur inside bodies, which are captured whole).
+            depth, j = 0, i
+            while j < n:
+                if code[j] == "{":
+                    depth += 1
+                elif code[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if kind == "function":
+                raw_funcs.append(RawFunction(
+                    qname=qualify(name, scopes), file=rel,
+                    line=line_of(stmt_start + len(head) - len(head.lstrip())),
+                    hot=HOT_TOKEN in head,
+                    body=code[i + 1:j], body_start=i + 1))
+            i = j + 1
+            stmt_start = i
+        elif ch == "}":
+            if scopes:
+                scopes.pop()
+            i += 1
+            stmt_start = i
+        elif ch == ";":
+            stmt = code[stmt_start:i]
+            if HOT_TOKEN in stmt:
+                kind, name = classify_head(stmt)
+                if kind == "function":
+                    hot_decls.append((qualify(name, scopes),
+                                      line_of(stmt_start)))
+                else:
+                    hot_decls.append(("", line_of(stmt_start)))
+            i += 1
+            stmt_start = i
+        elif ch == ":" and code[i - 1:i] != ":" and code[i + 1:i + 2] != ":":
+            # Access specifiers would pollute the next statement head.
+            if code[stmt_start:i].strip() in ("public", "private",
+                                              "protected"):
+                stmt_start = i + 1
+            i += 1
+        else:
+            i += 1
+    return raw_funcs, hot_decls, comment_lines, newlines
+
+
+def noeffect_on(comment_lines: list[str], line: int) -> set[str]:
+    if 1 <= line <= len(comment_lines):
+        return set(NOEFFECT_JUSTIFIED_RE.findall(comment_lines[line - 1]))
+    return set()
+
+
+def analyze(root: pathlib.Path):
+    """Parses the tree and returns (nodes, findings)."""
+    findings: list[str] = []
+    files: list[pathlib.Path] = []
+    for glob in SOURCE_GLOBS:
+        files.extend(root.rglob(glob))
+
+    nodes: dict[str, FunctionNode] = {}
+    pending: list[tuple[RawFunction, list[str], list[int]]] = []
+    unresolved_hot: list[tuple[str, int, str]] = []
+
+    for f in sorted(files):
+        rel = f.relative_to(root).as_posix()
+        text = f.read_text(encoding="utf-8")
+        raw_funcs, hot_decls, comment_lines, newlines = parse_file(rel, text)
+        for rf in raw_funcs:
+            node = nodes.setdefault(rf.qname, FunctionNode(qname=rf.qname))
+            if not node.file or rf.file.endswith(".cc"):
+                node.file, node.line = rf.file, rf.line
+            if rf.hot:
+                node.hot = True
+                node.hot_sites.append((rf.file, rf.line))
+            pending.append((rf, comment_lines, newlines))
+        for qname, line in hot_decls:
+            unresolved_hot.append((qname, line, rel))
+        # Unjustified NOEFFECT: a suppression without a reason is a finding.
+        for ln, comment in enumerate(comment_lines, start=1):
+            for m in NOEFFECT_RE.finditer(comment):
+                if not NOEFFECT_JUSTIFIED_RE.match(comment[m.start():]):
+                    findings.append(
+                        f"{rel}:{ln}: NOEFFECT({m.group(1)}) needs a "
+                        f"justification: NOEFFECT({m.group(1)}): <why>")
+
+    # Bind ATYPICAL_HOT declarations to parsed definitions.
+    for qname, line, rel in unresolved_hot:
+        if qname and qname in nodes:
+            nodes[qname].hot = True
+            nodes[qname].hot_sites.append((rel, line))
+        else:
+            findings.append(
+                f"{rel}:{line}: {HOT_TOKEN} annotation does not match any "
+                f"parsed function definition"
+                + (f" (looked for '{qname}')" if qname else "")
+                + "; the effect analysis cannot gate it")
+
+    by_base: dict[str, list[str]] = {}
+    for qname in nodes:
+        by_base.setdefault(qname.split("::")[-1], []).append(qname)
+
+    def resolve(call: str) -> list[str]:
+        if "::" in call:
+            return [q for q in by_base.get(call.split("::")[-1], [])
+                    if q == call or q.endswith("::" + call)]
+        return by_base.get(call, [])
+
+    # Seed direct effects and call edges.
+    for rf, comment_lines, newlines in pending:
+        node = nodes[rf.qname]
+
+        def line_of(offset: int) -> int:
+            return bisect.bisect_right(newlines, offset - 1) + 1
+
+        body = rf.body
+        for stmt_re in EXEMPT_STMT_RES:
+            body = stmt_re.sub(blank_preserving_newlines, body)
+
+        def seed(effect: str, detail: str, line: int):
+            if effect in noeffect_on(comment_lines, line):
+                return
+            node.cause.setdefault(
+                effect, ("direct", detail, rf.file, line))
+
+        for effect, pattern, label in TOKEN_SEEDS:
+            for m in pattern.finditer(body):
+                seed(effect, label, line_of(rf.body_start + m.start()))
+        for m in CALL_RE.finditer(body):
+            call = m.group(1)
+            base = call.split("::")[-1]
+            if base in NON_CALLS:
+                continue
+            line = line_of(rf.body_start + m.start())
+            if "calls" in noeffect_on(comment_lines, line):
+                continue
+            if base in ALLOC_CALLS:
+                seed("allocates", f"{base}()", line)
+            if base in IO_CALLS:
+                seed("io", f"{base}()", line)
+            if base in THROW_CALLS:
+                seed("throws", f"{base}()", line)
+            for callee in resolve(call):
+                if callee != rf.qname:
+                    node.calls.setdefault(callee, line)
+
+    # Propagate effects to callers (BFS per effect; cause set once, so
+    # --explain chains terminate at a direct seed).
+    callers: dict[str, list[str]] = {}
+    for qname, node in nodes.items():
+        for callee in node.calls:
+            callers.setdefault(callee, []).append(qname)
+    for effect in EFFECTS:
+        work = [q for q, nd in nodes.items() if effect in nd.cause]
+        while work:
+            cur = work.pop()
+            for caller in callers.get(cur, ()):
+                nd = nodes[caller]
+                if effect in nd.cause:
+                    continue
+                nd.cause[effect] = ("call", cur, nodes[cur].file,
+                                    nd.calls[cur])
+                work.append(caller)
+    return nodes, findings
+
+
+def chain_of(nodes: dict, qname: str, effect: str) -> str:
+    """Renders the witness call chain from `qname` to a direct seed."""
+    parts = [qname]
+    seen = {qname}
+    cur = qname
+    while True:
+        kind, detail, file, line = nodes[cur].cause[effect]
+        if kind == "direct":
+            parts.append(f"{detail} ({file}:{line})")
+            break
+        parts.append(detail)
+        if detail in seen:  # defensive; BFS causes cannot cycle
+            parts.append("...")
+            break
+        seen.add(detail)
+        cur = detail
+    return " -> ".join(parts)
+
+
+def load_ratchet(path: pathlib.Path | None) -> dict[tuple[str, str], str]:
+    if path is None or not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load ratchet {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    for entry in data.get("grandfathered", []):
+        if not all(entry.get(k) for k in ("function", "effect", "note")):
+            print(f"error: ratchet entry needs non-empty function/effect/"
+                  f"note: {entry}", file=sys.stderr)
+            sys.exit(2)
+        if entry["effect"] not in GATED:
+            print(f"error: ratchet entry for ungated effect "
+                  f"{entry['effect']!r}: {entry}", file=sys.stderr)
+            sys.exit(2)
+        entries[(entry["function"], entry["effect"])] = entry["note"]
+    return entries
+
+
+def check_tree(root: pathlib.Path,
+               ratchet: dict[tuple[str, str], str],
+               min_functions: int = 1):
+    """Returns (nodes, rendered findings)."""
+    nodes, findings = analyze(root)
+    if len(nodes) < min_functions:
+        print(f"error: parsed only {len(nodes)} function(s) under {root} "
+              f"(expected >= {min_functions}); extractor regression?",
+              file=sys.stderr)
+        sys.exit(2)
+
+    used: set[tuple[str, str]] = set()
+    for qname in sorted(nodes):
+        node = nodes[qname]
+        if not node.hot:
+            continue
+        for effect in EFFECTS:
+            if effect not in GATED or effect not in node.cause:
+                continue
+            if (qname, effect) in ratchet:
+                used.add((qname, effect))
+                continue
+            check_id, check_name = GATED[effect]
+            findings.append(
+                f"{node.file}:{node.line}: {check_id} {check_name}: hot "
+                f"function '{qname}' reaches {effect}: "
+                f"{chain_of(nodes, qname, effect)}; fix the path or add a "
+                f"(function, effect) entry with a burn-down note to the "
+                f"ratchet")
+    for (fn, effect), _ in sorted(ratchet.items()):
+        if (fn, effect) in used:
+            continue
+        why = ("function is not annotated " + HOT_TOKEN
+               if fn not in nodes or not nodes[fn].hot
+               else f"it no longer reaches {effect}")
+        findings.append(
+            f"{fn}: stale ratchet entry for '{effect}' ({why} — delete the "
+            f"entry from effects_ratchet.json; that is the burn-down)")
+    return nodes, findings
+
+
+def explain(nodes: dict, target: str) -> int:
+    matches = [q for q in sorted(nodes)
+               if q == target or q.endswith("::" + target)]
+    if not matches:
+        print(f"error: no parsed function matches {target!r}",
+              file=sys.stderr)
+        return 2
+    for qname in matches:
+        node = nodes[qname]
+        hot = " [ATYPICAL_HOT]" if node.hot else ""
+        print(f"{qname}{hot}  ({node.file}:{node.line})")
+        if not node.cause:
+            print("  no effects: allocation-free, lock-free, I/O-free, "
+                  "nothrow")
+        for effect in EFFECTS:
+            if effect in node.cause:
+                print(f"  {effect}: {chain_of(nodes, qname, effect)}")
+    return 0
+
+
+def list_hot(nodes: dict) -> int:
+    hot = [q for q in sorted(nodes) if nodes[q].hot]
+    for qname in hot:
+        effects = ", ".join(e for e in EFFECTS if e in nodes[qname].cause)
+        print(f"{qname}: {effects if effects else 'clean'}")
+    print(f"{len(hot)} hot function(s)", file=sys.stderr)
+    return 0
+
+
+# --- self-test over fixture trees -------------------------------------------
+
+def self_test() -> int:
+    """Runs the checker over scripts/lint_fixtures/effects/<case>/.
+
+    Each case holds a `src/` tree, an optional `ratchet.json`, and an
+    `EXPECT` file: first line `clean` or `findings`, remaining lines
+    substrings that must each appear in some finding."""
+    fixture_root = REPO / "scripts" / "lint_fixtures" / "effects"
+    cases = sorted(p for p in fixture_root.iterdir() if p.is_dir())
+    if not cases:
+        print(f"error: no fixture cases under {fixture_root}",
+              file=sys.stderr)
+        return 2
+    failures = []
+    for case in cases:
+        ratchet_path = case / "ratchet.json"
+        ratchet = load_ratchet(ratchet_path if ratchet_path.exists()
+                               else None)
+        nodes, findings = check_tree(case / "src", ratchet)
+        expect_lines = (case / "EXPECT").read_text().strip().split("\n")
+        verdict, needles = expect_lines[0].strip(), expect_lines[1:]
+        if verdict == "clean":
+            if findings:
+                failures.append((case.name, "expected clean, got:",
+                                 findings))
+            continue
+        if not findings:
+            failures.append((case.name, "expected findings, got none", []))
+            continue
+        for needle in needles:
+            if not any(needle in f for f in findings):
+                failures.append(
+                    (case.name, f"no finding contains {needle!r}:",
+                     findings))
+    # The ratcheted fixture must also support --explain: a grandfathered
+    # effect still prints its full witness chain.
+    ratcheted = fixture_root / "ratcheted"
+    if ratcheted.is_dir():
+        nodes, _ = check_tree(ratcheted / "src",
+                              load_ratchet(ratcheted / "ratchet.json"))
+        hot = [q for q in nodes if nodes[q].hot and nodes[q].cause]
+        if not hot:
+            failures.append(("ratcheted", "no hot function with effects to "
+                             "explain", []))
+        else:
+            chain = chain_of(nodes, hot[0],
+                             sorted(nodes[hot[0]].cause)[0])
+            if " -> " not in chain:
+                failures.append(("ratcheted",
+                                 f"explain chain has no call arrow: {chain}",
+                                 []))
+    if failures:
+        for name, why, findings in failures:
+            print(f"SELF-TEST FAIL {name}: {why}", file=sys.stderr)
+            for f in findings:
+                print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"self-test ok: {len(cases)} fixture trees")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=str(REPO / "src"))
+    parser.add_argument("--ratchet", default=str(REPO / "scripts" /
+                                                 "effects_ratchet.json"))
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--explain", metavar="FUNC")
+    parser.add_argument("--list-hot", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root)
+    if not root.is_dir():
+        print(f"error: no such directory: {root}", file=sys.stderr)
+        return 2
+    # On the real tree a sudden drop in parsed functions means the extractor
+    # broke, not that the code got clean.
+    min_functions = 200 if root == (REPO / "src") else 1
+    ratchet = load_ratchet(pathlib.Path(args.ratchet))
+    nodes, findings = check_tree(root, ratchet, min_functions)
+
+    if args.explain:
+        return explain(nodes, args.explain)
+    if args.list_hot:
+        return list_hot(nodes)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} effect finding(s)", file=sys.stderr)
+        return 1
+    hot = sum(1 for nd in nodes.values() if nd.hot)
+    print(f"check_effects: clean ({len(nodes)} functions, {hot} hot, "
+          f"{len(ratchet)} grandfathered (function, effect) budget(s) "
+          f"remaining in the ratchet)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,10 @@
 #                                  --skip-includes (needs a C++ compiler)
 #   4. check_layering              src/ #include graph vs the layer DAG in
 #                                  scripts/layering.json (+ ratchet)
-#   5. clang-tidy                  .clang-tidy gate, when clang-tidy is on
+#   5. check_effects self-test     the effect checker's fixture trees
+#   6. check_effects               AL013-AL015 hot-path effect gates over
+#                                  src/ (+ scripts/effects_ratchet.json)
+#   7. clang-tidy                  .clang-tidy gate, when clang-tidy is on
 #                                  PATH (skipped quietly otherwise unless
 #                                  REQUIRE_CLANG_TIDY=1; --skip-tidy)
 #
@@ -64,6 +67,8 @@ else
 fi
 
 run_stage "check_layering" python3 scripts/check_layering.py
+run_stage "check_effects --self-test" python3 scripts/check_effects.py --self-test
+run_stage "check_effects" python3 scripts/check_effects.py
 
 if [ "${SKIP_TIDY}" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then

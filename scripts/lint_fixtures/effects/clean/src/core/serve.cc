@@ -1,0 +1,23 @@
+// Clean case: a hot function whose whole call tree is effect-free, plus a
+// justified NOEFFECT suppression on a shrink-only resize.
+#include <algorithm>
+#include <vector>
+
+namespace atypical {
+
+int SumPrefix(const std::vector<int>& v, int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += v[i];
+  return total;
+}
+
+void ShrinkTo(std::vector<int>* v, int n) {
+  v->resize(n);  // NOEFFECT(allocates): shrink-only, capacity untouched
+}
+
+ATYPICAL_HOT int ServeQuery(const std::vector<int>& table, int key) {
+  if (!std::binary_search(table.begin(), table.end(), key)) return 0;
+  return SumPrefix(table, key);
+}
+
+}  // namespace atypical

@@ -1,0 +1,17 @@
+// Ratcheted case: the hot function allocates, but the (function, effect)
+// pair is grandfathered with a burn-down note, so the tree is clean.  The
+// self-test also renders this entry's --explain chain.
+#include <vector>
+
+namespace atypical {
+
+void AppendResult(std::vector<int>* out, int value) {
+  out->push_back(value);
+}
+
+ATYPICAL_HOT int ServeQuery(std::vector<int>* out) {
+  AppendResult(out, 1);
+  return 1;
+}
+
+}  // namespace atypical

@@ -1,0 +1,10 @@
+// Stale-ratchet case: the hot function is clean, but the ratchet still
+// grandfathers an allocation for it — the entry must be reported so it gets
+// deleted (that is the burn-down).
+namespace atypical {
+
+ATYPICAL_HOT int ServeQuery(int key) {
+  return key * 2;
+}
+
+}  // namespace atypical

@@ -1,0 +1,24 @@
+// Violating case: one hot function that reaches a lock (transitively), I/O
+// (transitively) and a direct allocation — AL013, AL014, AL015 must all
+// fire, each with its witness chain.
+#include <fstream>
+#include <vector>
+
+namespace atypical {
+
+void ReloadTable() {
+  std::ifstream in;
+}
+
+void LockedPublish() {
+  MutexLock lock(&mu_);
+}
+
+ATYPICAL_HOT int ServeQuery(std::vector<int>* out) {
+  ReloadTable();
+  LockedPublish();
+  out->push_back(1);
+  return 1;
+}
+
+}  // namespace atypical

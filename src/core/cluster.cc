@@ -69,7 +69,7 @@ void FeatureVector::Compact() const {
       entries_[out++] = entries_[i];
     }
   }
-  entries_.resize(out);
+  entries_.resize(out);  // NOEFFECT(allocates): shrink-only (out <= size())
   max_severity_ = 0.0;
   for (const Entry& e : entries_) {
     max_severity_ = std::max(max_severity_, e.severity);

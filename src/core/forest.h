@@ -16,6 +16,7 @@
 #include "core/integration.h"
 #include "cps/record.h"
 #include "cps/sensor_network.h"
+#include "util/hot_path.h"
 
 namespace atypical {
 
@@ -72,6 +73,11 @@ class AtypicalForest {
 
   // Leaf micro-clusters whose day falls in `range` (ascending day order).
   std::vector<const AtypicalCluster*> MicrosInRange(const DayRange& range) const;
+
+  // Same, into a caller-owned buffer (cleared first) so repeated queries
+  // reuse its capacity (DESIGN §15).
+  ATYPICAL_HOT void MicrosInRange(const DayRange& range,
+                                  std::vector<const AtypicalCluster*>* out) const;
 
   // Micro-cluster severities by id over `range` (evaluation support).
   std::map<ClusterId, double> MicroSeverities(const DayRange& range) const;

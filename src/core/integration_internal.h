@@ -16,6 +16,7 @@
 #include "core/cluster.h"
 #include "core/integration.h"
 #include "util/hash_perturb.h"
+#include "util/hot_path.h"
 
 namespace atypical {
 namespace integration_internal {
@@ -95,9 +96,9 @@ class CandidateIndex {
 
   // Collects slots sharing at least one key with `cluster`, excluding
   // `self`, sorted ascending and deduplicated.
-  void Candidates(const AtypicalCluster& cluster, uint32_t self,
-                  const std::vector<bool>& alive,
-                  std::vector<uint32_t>* out) {
+  ATYPICAL_HOT void Candidates(const AtypicalCluster& cluster, uint32_t self,
+                               const std::vector<bool>& alive,
+                               std::vector<uint32_t>* out) {
     out->clear();
     ++scan_id_;
     auto visit = [&](uint64_t key) {

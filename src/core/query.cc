@@ -1,7 +1,6 @@
 #include "core/query.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "core/temporal_key.h"
 #include "obs/stats.h"
@@ -44,25 +43,32 @@ double QueryEngine::ThresholdFor(const AnalyticalQuery& query) const {
                                forest_->time_grid(), n);
 }
 
-void QueryEngine::FilterToArea(const std::vector<SensorId>& sensors_in_w,
-                               std::vector<AtypicalCluster>* inputs) {
-  const std::unordered_set<SensorId> w_set(sensors_in_w.begin(),
-                                           sensors_in_w.end());
-  std::vector<AtypicalCluster> kept;
-  kept.reserve(inputs->size());
-  for (AtypicalCluster& c : *inputs) {
-    for (const FeatureVector::Entry& e : c.spatial.entries()) {
-      if (w_set.contains(e.key)) {
-        kept.push_back(std::move(c));
-        break;
-      }
+namespace {
+
+// Membership in the (sorted) sensors-of-W set.  Binary search over the
+// caller's reused buffer keeps the hot path free of per-query hash sets.
+bool TouchesArea(const AtypicalCluster& c,
+                 const std::vector<SensorId>& sorted_in_w) {
+  for (const FeatureVector::Entry& e : c.spatial.entries()) {
+    if (std::binary_search(sorted_in_w.begin(), sorted_in_w.end(), e.key)) {
+      return true;
     }
   }
-  *inputs = std::move(kept);
+  return false;
+}
+
+}  // namespace
+
+void QueryEngine::FilterToArea(const std::vector<SensorId>& sensors_in_w,
+                               std::vector<AtypicalCluster>* inputs) {
+  std::erase_if(*inputs, [&](const AtypicalCluster& c) {
+    return !TouchesArea(c, sensors_in_w);
+  });
 }
 
 std::vector<AtypicalCluster> QueryEngine::CollectPlannedInputs(
-    const AnalyticalQuery& query, QueryCost* cost) const {
+    const AnalyticalQuery& query, const std::vector<SensorId>& sensors_in_w,
+    QueryCost* cost) const {
   const DayRange& range = query.days;
   // Empty or inverted range: nothing to plan, and the cost stays zero.
   // Run() short-circuits before getting here; the guard keeps the method's
@@ -117,29 +123,21 @@ std::vector<AtypicalCluster> QueryEngine::CollectPlannedInputs(
                                            TemporalKeyMode::kTimeOfDay));
     }
   }
-  FilterToArea(network_->SensorsInRect(query.area), &inputs);
+  FilterToArea(sensors_in_w, &inputs);
   return inputs;
 }
 
 std::vector<AtypicalCluster> QueryEngine::CollectMicros(
-    const AnalyticalQuery& query, QueryCost* cost) const {
-  const std::vector<SensorId> in_w = network_->SensorsInRect(query.area);
-  const std::unordered_set<SensorId> w_set(in_w.begin(), in_w.end());
-
+    const AnalyticalQuery& query, QueryScratch* scratch,
+    QueryCost* cost) const {
+  forest_->MicrosInRange(query.days, &scratch->micros_in_range);
   std::vector<AtypicalCluster> micros;
-  for (const AtypicalCluster* micro : forest_->MicrosInRange(query.days)) {
+  for (const AtypicalCluster* micro : scratch->micros_in_range) {
     ++cost->micro_clusters_in_range;
     // A micro-cluster belongs to the query if it touches W at all; events
     // straddling the boundary keep their full features (their severity must
     // stay exact for Def. 5 to be meaningful).
-    bool touches = false;
-    for (const FeatureVector::Entry& e : micro->spatial.entries()) {
-      if (w_set.contains(e.key)) {
-        touches = true;
-        break;
-      }
-    }
-    if (touches) {
+    if (TouchesArea(*micro, scratch->sensors_in_w)) {
       micros.push_back(WithTemporalKeyMode(*micro, forest_->time_grid(),
                                            TemporalKeyMode::kTimeOfDay));
     }
@@ -149,6 +147,13 @@ std::vector<AtypicalCluster> QueryEngine::CollectMicros(
 
 QueryResult QueryEngine::Run(const AnalyticalQuery& query,
                              QueryStrategy strategy) const {
+  QueryScratch scratch;
+  return Run(query, strategy, &scratch);
+}
+
+QueryResult QueryEngine::Run(const AnalyticalQuery& query,
+                             QueryStrategy strategy,
+                             QueryScratch* scratch) const {
   Stopwatch timer;
   QueryResult result;
   if (query.days.NumDays() <= 0) {
@@ -161,7 +166,9 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
     empty_range->Add(1);
     return result;
   }
-  const std::vector<SensorId> in_w = network_->SensorsInRect(query.area);
+  std::vector<SensorId>& in_w = scratch->sensors_in_w;
+  network_->SensorsInRect(query.area, &in_w);
+  DCHECK(std::is_sorted(in_w.begin(), in_w.end()));
   result.num_sensors_in_w = static_cast<int>(in_w.size());
   result.threshold =
       SignificanceThreshold(options_.significance, query.days,
@@ -172,21 +179,18 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
   const bool planned =
       options_.use_materialized_levels && strategy == QueryStrategy::kAll;
   std::vector<AtypicalCluster> micros =
-      planned ? CollectPlannedInputs(query, &result.cost)
-              : CollectMicros(query, &result.cost);
+      planned ? CollectPlannedInputs(query, in_w, &result.cost)
+              : CollectMicros(query, scratch, &result.cost);
 
   switch (strategy) {
     case QueryStrategy::kAll:
       break;
     case QueryStrategy::kPrune: {
       // Beforehand pruning: only micro-clusters that already clear the
-      // query's significance bar are integrated.
-      std::vector<AtypicalCluster> kept;
-      kept.reserve(micros.size());
-      for (AtypicalCluster& m : micros) {
-        if (IsSignificant(m, result.threshold)) kept.push_back(std::move(m));
-      }
-      micros = std::move(kept);
+      // query's significance bar are integrated (in place, order kept).
+      std::erase_if(micros, [&](const AtypicalCluster& m) {
+        return !IsSignificant(m, result.threshold);
+      });
       break;
     }
     case QueryStrategy::kGuided: {
@@ -209,8 +213,10 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
                                       &result.cost.integration);
 
   if (options_.post_check_significance) {
-    // Algorithm 4 lines 5–7: remove false positives.
-    result.clusters = FilterSignificant(result.clusters, result.threshold);
+    // Algorithm 4 lines 5–7: remove false positives (in place, order kept).
+    std::erase_if(result.clusters, [&](const AtypicalCluster& c) {
+      return !IsSignificant(c, result.threshold);
+    });
   }
 
   // Completeness annotation: fold the forest's per-day provenance over T so

@@ -20,6 +20,7 @@
 #include "cps/spatial_partition.h"
 #include "cube/cube.h"
 #include "cube/red_zone.h"
+#include "util/hot_path.h"
 
 namespace atypical {
 
@@ -99,6 +100,18 @@ struct QueryEngineOptions {
   bool use_materialized_levels = false;
 };
 
+// Caller-owned reusable buffers for QueryEngine::Run (DESIGN §15).  A
+// serving loop keeps one per worker thread; repeated queries then reuse the
+// grown capacity instead of re-allocating scratch per call.  The alloc_probe
+// tests pin Run()'s steady-state allocation count with a warm scratch.
+struct QueryScratch {
+  // Sensors inside W, ascending by id (SensorsInRect order); membership
+  // tests binary-search it.
+  std::vector<SensorId> sensors_in_w;
+  // Leaf micro-cluster pointers over T (MicrosInRange order).
+  std::vector<const AtypicalCluster*> micros_in_range;
+};
+
 // Online query processor over a built forest.  The atypical cube drives the
 // red-zone guidance; it must cover the forest's data.
 class QueryEngine {
@@ -112,7 +125,15 @@ class QueryEngine {
   // Runs Q(W, T).  An empty or inverted day range (NumDays() <= 0) covers
   // no days and returns the default-constructed QueryResult: no clusters,
   // zero threshold, zero num_sensors_in_w, zero cost.
-  QueryResult Run(const AnalyticalQuery& query, QueryStrategy strategy) const;
+  ATYPICAL_HOT QueryResult Run(const AnalyticalQuery& query,
+                               QueryStrategy strategy) const;
+
+  // As above, with caller-owned scratch reused across calls.  This is the
+  // serving-loop entry point: at steady state (warm scratch, warm forest)
+  // its allocations are O(result), pinned by tests/alloc_probe_test.cc.
+  ATYPICAL_HOT QueryResult Run(const AnalyticalQuery& query,
+                               QueryStrategy strategy,
+                               QueryScratch* scratch) const;
 
   // The significance threshold δs·length(T)·N this engine would use for the
   // query (exposed for evaluation code).
@@ -120,16 +141,21 @@ class QueryEngine {
 
  private:
   // Micro-clusters in range intersecting W, re-keyed to time-of-day.
-  std::vector<AtypicalCluster> CollectMicros(const AnalyticalQuery& query,
-                                             QueryCost* cost) const;
+  ATYPICAL_HOT std::vector<AtypicalCluster> CollectMicros(
+      const AnalyticalQuery& query, QueryScratch* scratch,
+      QueryCost* cost) const;
 
   // Materialized plan: months, then weeks, then leaf days for the rest.
-  std::vector<AtypicalCluster> CollectPlannedInputs(
-      const AnalyticalQuery& query, QueryCost* cost) const;
+  // `sensors_in_w` must be sorted ascending.
+  ATYPICAL_HOT std::vector<AtypicalCluster> CollectPlannedInputs(
+      const AnalyticalQuery& query, const std::vector<SensorId>& sensors_in_w,
+      QueryCost* cost) const;
 
-  // Drops inputs that do not touch the query area W.
-  static void FilterToArea(const std::vector<SensorId>& sensors_in_w,
-                           std::vector<AtypicalCluster>* inputs);
+  // Drops inputs that do not touch the query area W, in place (order
+  // preserved).  `sensors_in_w` must be sorted ascending.
+  ATYPICAL_HOT static void FilterToArea(
+      const std::vector<SensorId>& sensors_in_w,
+      std::vector<AtypicalCluster>* inputs);
 
   const SensorNetwork* network_;
   const SpatialPartition* regions_;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/cluster.h"
+#include "util/hot_path.h"
 
 namespace atypical {
 
@@ -37,8 +38,8 @@ double TemporalSimilarity(const AtypicalCluster& c1, const AtypicalCluster& c2,
                           BalanceFunction g);
 
 // Eq. 2.
-double Similarity(const AtypicalCluster& c1, const AtypicalCluster& c2,
-                  BalanceFunction g);
+ATYPICAL_HOT double Similarity(const AtypicalCluster& c1,
+                               const AtypicalCluster& c2, BalanceFunction g);
 
 // ---- similarity fast path (DESIGN §11) ----
 //
@@ -66,17 +67,19 @@ struct SimilarityScanStats {
 // feature signatures, totals, max entry severities and severity sketches —
 // O(kSignatureBuckets/64) words of work, no entry scans.  Guaranteed
 // ≥ Similarity(c1, c2, g) (FP slack included; see DESIGN §11).
-double SimilarityUpperBound(const AtypicalCluster& c1,
-                            const AtypicalCluster& c2, BalanceFunction g);
+ATYPICAL_HOT double SimilarityUpperBound(const AtypicalCluster& c1,
+                                         const AtypicalCluster& c2,
+                                         BalanceFunction g);
 
 // The drivers' entry point: exactly `Similarity(c1, c2, g) > delta_sim`,
 // but answered via staged upper bounds when they already settle the verdict.
 // With use_fast_path=false this is a plain exact evaluation (the baseline
 // the property tests compare against).  `stats`, if non-null, is updated.
-bool ExceedsThreshold(const AtypicalCluster& c1, const AtypicalCluster& c2,
-                      BalanceFunction g, double delta_sim,
-                      SimilarityScanStats* stats = nullptr,
-                      bool use_fast_path = true);
+ATYPICAL_HOT bool ExceedsThreshold(const AtypicalCluster& c1,
+                                   const AtypicalCluster& c2,
+                                   BalanceFunction g, double delta_sim,
+                                   SimilarityScanStats* stats = nullptr,
+                                   bool use_fast_path = true);
 
 }  // namespace atypical
 

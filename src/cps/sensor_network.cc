@@ -90,10 +90,18 @@ double SensorNetwork::Distance(SensorId a, SensorId b,
 
 std::vector<SensorId> SensorNetwork::SensorsInRect(const GeoRect& rect) const {
   std::vector<SensorId> out;
-  for (const Sensor& s : sensors_) {
-    if (rect.Contains(s.location)) out.push_back(s.id);
-  }
+  SensorsInRect(rect, &out);
   return out;
+}
+
+void SensorNetwork::SensorsInRect(const GeoRect& rect,
+                                  std::vector<SensorId>* out) const {
+  out->clear();
+  // sensors_ is ordered by id (Place assigns ids sequentially), so the
+  // output is sorted without an explicit sort.
+  for (const Sensor& s : sensors_) {
+    if (rect.Contains(s.location)) out->push_back(s.id);
+  }
 }
 
 }  // namespace atypical

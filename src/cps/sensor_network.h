@@ -11,6 +11,7 @@
 
 #include "cps/road_network.h"
 #include "cps/types.h"
+#include "util/hot_path.h"
 
 namespace atypical {
 
@@ -71,6 +72,12 @@ class SensorNetwork {
 
   // All sensors inside the rectangle (query region W).
   std::vector<SensorId> SensorsInRect(const GeoRect& rect) const;
+
+  // Same, into a caller-owned buffer (cleared first) so serving loops reuse
+  // its capacity across queries.  Output is ascending by sensor id, which
+  // lets callers use binary search for membership.
+  ATYPICAL_HOT void SensorsInRect(const GeoRect& rect,
+                                  std::vector<SensorId>* out) const;
 
   // Distance between two sensors under `metric`.  Road-network distance
   // across different highways is +infinity (HUGE_VAL) — it always exceeds

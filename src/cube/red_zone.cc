@@ -1,5 +1,7 @@
 #include "cube/red_zone.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace atypical {
@@ -17,6 +19,9 @@ std::vector<RegionId> ComputeRedZones(const BottomUpCube& atypical_cube,
     }
     if (f >= threshold) red.push_back(region);
   }
+  // Sorted output: FilterByRedZones tests membership by binary search, which
+  // keeps the per-query filter free of hash-set construction (AL015).
+  std::sort(red.begin(), red.end());
   return red;
 }
 
@@ -24,22 +29,23 @@ std::vector<AtypicalCluster> FilterByRedZones(
     std::vector<AtypicalCluster> clusters,
     const std::vector<RegionId>& red_zones, const SpatialPartition& regions,
     RedZoneFilterMode mode) {
-  const std::unordered_set<RegionId> red(red_zones.begin(), red_zones.end());
-  std::vector<AtypicalCluster> out;
-  out.reserve(clusters.size());
-  for (AtypicalCluster& cluster : clusters) {
+  DCHECK(std::is_sorted(red_zones.begin(), red_zones.end()));
+  std::erase_if(clusters, [&](const AtypicalCluster& cluster) {
     int inside = 0;
     int total = 0;
     for (const FeatureVector::Entry& e : cluster.spatial.entries()) {
       ++total;
-      if (red.contains(regions.RegionOfSensor(e.key))) ++inside;
+      if (std::binary_search(red_zones.begin(), red_zones.end(),
+                             regions.RegionOfSensor(e.key))) {
+        ++inside;
+      }
     }
     const bool keep = mode == RedZoneFilterMode::kKeepIntersecting
                           ? inside > 0
                           : inside == total && total > 0;
-    if (keep) out.push_back(std::move(cluster));
-  }
-  return out;
+    return !keep;
+  });
+  return clusters;
 }
 
 }  // namespace cube

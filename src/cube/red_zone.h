@@ -11,21 +11,22 @@
 #ifndef ATYPICAL_CUBE_RED_ZONE_H_
 #define ATYPICAL_CUBE_RED_ZONE_H_
 
-#include <unordered_set>
 #include <vector>
 
 #include "core/cluster.h"
 #include "cps/spatial_partition.h"
 #include "cube/cube.h"
+#include "util/hot_path.h"
 
 namespace atypical {
 namespace cube {
 
 // Regions among `regions_in_w` whose total severity over `days` reaches
 // `threshold` (= δs·length(T)·N computed by the caller).
-std::vector<RegionId> ComputeRedZones(const BottomUpCube& atypical_cube,
-                                      const std::vector<RegionId>& regions_in_w,
-                                      const DayRange& days, double threshold);
+ATYPICAL_HOT std::vector<RegionId> ComputeRedZones(
+    const BottomUpCube& atypical_cube,
+    const std::vector<RegionId>& regions_in_w, const DayRange& days,
+    double threshold);
 
 enum class RedZoneFilterMode : uint8_t {
   // Keep a cluster if any of its sensors lies in a red zone (Example 7:
@@ -41,7 +42,7 @@ enum class RedZoneFilterMode : uint8_t {
 // Returns the subset of `clusters` surviving the red-zone filter, preserving
 // order.  Clusters pass whole — features are never trimmed, so survivors'
 // severities stay exact.
-std::vector<AtypicalCluster> FilterByRedZones(
+ATYPICAL_HOT std::vector<AtypicalCluster> FilterByRedZones(
     std::vector<AtypicalCluster> clusters,
     const std::vector<RegionId>& red_zones, const SpatialPartition& regions,
     RedZoneFilterMode mode = RedZoneFilterMode::kKeepIntersecting);
