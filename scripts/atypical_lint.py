@@ -26,12 +26,13 @@ Checks
   AL007 header-self-contained  every header compiles in isolation (built in;
                                run with --with-includes, it needs a C++
                                compiler).
-  AL008 resilience-metric      every `fault.*` / `degradation.*` metric name
+  AL008 registered-metric      every `fault.*` / `degradation.*` metric name
                                registered in src/ appears in the
                                `resilienceMetrics` list of
-                               scripts/stats_schema.json, so the resilience
-                               counter set stays closed and discoverable
-                               (DESIGN §12).
+                               scripts/stats_schema.json (DESIGN §12), and
+                               every `serve.*` name in its `servingMetrics`
+                               list (DESIGN §16), so both metric sets stay
+                               closed and discoverable.
   AL009 unordered-iteration    no iteration over std::unordered_map/set in
                                the deterministic modules (src/core, src/cube,
                                src/index): hash-layout order leaks into ids,
@@ -317,19 +318,27 @@ def check_metric_names(sf: SourceFile) -> list[Finding]:
     return findings
 
 
-# --- AL008: resilience metric registry ---------------------------------------
+# --- AL008: prefixed-metric registries ---------------------------------------
 
-RESILIENCE_PREFIXES = ("fault.", "degradation.")
-_resilience_registry: set[str] | None = None
+# Metric-name prefix -> (stats_schema.json registry key, DESIGN section).
+REGISTERED_PREFIXES = {
+    "fault.": ("resilienceMetrics", "DESIGN §12"),
+    "degradation.": ("resilienceMetrics", "DESIGN §12"),
+    "serve.": ("servingMetrics", "DESIGN §16"),
+}
+_metric_registries: dict[str, set[str]] | None = None
 
 
-def resilience_registry() -> set[str]:
-    global _resilience_registry
-    if _resilience_registry is None:
+def metric_registry(key: str) -> set[str]:
+    global _metric_registries
+    if _metric_registries is None:
         schema = json.loads(
             (REPO / "scripts" / "stats_schema.json").read_text())
-        _resilience_registry = set(schema.get("resilienceMetrics", []))
-    return _resilience_registry
+        _metric_registries = {
+            k: set(schema.get(k, []))
+            for k, _ in REGISTERED_PREFIXES.values()
+        }
+    return _metric_registries[key]
 
 
 def check_resilience_metrics(sf: SourceFile) -> list[Finding]:
@@ -342,16 +351,22 @@ def check_resilience_metrics(sf: SourceFile) -> list[Finding]:
     for m in re.finditer(
             r"Get(Counter|Gauge|Histogram)\(\s*\"([^\"]*)\"", raw_text):
         name = m.group(2)
-        if not name.startswith(RESILIENCE_PREFIXES):
+        registry_key = None
+        for prefix, (key, section) in REGISTERED_PREFIXES.items():
+            if name.startswith(prefix):
+                registry_key, design_section = key, section
+                break
+        if registry_key is None:
             continue
         line = raw_text.count("\n", 0, m.start()) + 1
         if suppressed(sf, line - 1, "AL008"):
             continue
-        if name not in resilience_registry():
+        if name not in metric_registry(registry_key):
             findings.append(Finding(
-                sf.path, line, "AL008", "resilience-metric",
-                f"resilience metric {name!r} is not listed in "
-                "scripts/stats_schema.json resilienceMetrics (DESIGN §12)"))
+                sf.path, line, "AL008", "registered-metric",
+                f"metric {name!r} is not listed in "
+                f"scripts/stats_schema.json {registry_key} "
+                f"({design_section})"))
     return findings
 
 
@@ -1022,6 +1037,10 @@ def self_test() -> int:
     if not schema.get("resilienceMetrics"):
         print("error: stats_schema.json lost its 'resilienceMetrics' list "
               "(AL008's registry)", file=sys.stderr)
+        return 2
+    if not schema.get("servingMetrics"):
+        print("error: stats_schema.json lost its 'servingMetrics' list "
+              "(AL008's serving registry)", file=sys.stderr)
         return 2
     failures = []
     for fixture in fixtures:

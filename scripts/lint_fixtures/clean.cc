@@ -16,13 +16,17 @@ void Good() {
       "fixture.batch_size", obs::BucketLayout::Counts());
   accepted->Increment();
 
-  // Resilience metrics listed in stats_schema.json resilienceMetrics (AL008).
+  // Resilience metrics listed in stats_schema.json resilienceMetrics, and
+  // serving metrics listed in servingMetrics (AL008).
   static obs::Counter* const torn =
       obs::Registry()->GetCounter("fault.torn_writes");
   static obs::Counter* const lost =
       obs::Registry()->GetCounter("degradation.records_lost");
+  static obs::Counter* const hits =
+      obs::Registry()->GetCounter("serve.cache.hits");
   torn->Increment();
   lost->Increment();
+  hits->Increment();
 
   // CHECK/DCHECK over pure reads only.
   int n = 3;

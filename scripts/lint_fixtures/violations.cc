@@ -22,6 +22,9 @@ void Bad(int* counter) {
   obs::Registry()->GetCounter("fault.unregistered_total");
   // EXPECT-LINT-NEXT: AL008
   obs::Registry()->GetCounter("degradation.not_in_registry");
+  // Serving metric missing from stats_schema.json servingMetrics.
+  // EXPECT-LINT-NEXT: AL008
+  obs::Registry()->GetCounter("serve.not_in_registry");
 
   // Side effects inside assertions.  EXPECT-LINT-NEXT: AL003
   DCHECK_GT(++*counter, 0);

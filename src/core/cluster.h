@@ -250,6 +250,19 @@ class ClusterIdGenerator {
     return *this;
   }
 
+  // Copyable so owners are copyable for snapshot cloning (the serving
+  // layer's epoch publish copies the whole forest, DESIGN §16).  The copy
+  // continues from the source's current position; both generators then
+  // advance independently, which is exactly right for an immutable snapshot
+  // next to a still-ingesting original.
+  ClusterIdGenerator(const ClusterIdGenerator& other)
+      : next_(other.next_.load(std::memory_order_relaxed)) {}
+  ClusterIdGenerator& operator=(const ClusterIdGenerator& other) {
+    next_.store(other.next_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
   ClusterId Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
 
   // Guarantees all future ids exceed `id` (used when installing persisted

@@ -35,6 +35,7 @@ void AtypicalForest::AddDay(int day,
   micros_per_day->Record(static_cast<double>(micros.size()));
 
   num_micros_ += micros.size();
+  day_versions_[day] = ++version_;
   auto [it, inserted] = micros_by_day_.try_emplace(day, std::move(micros));
   if (inserted) {
     days_added->Add(1);
@@ -161,6 +162,7 @@ size_t AtypicalForest::MaterializeWeeks() {
     built += macros.size();
     macros_by_week_.emplace(week, std::move(macros));
   }
+  weeks_version_ = version_;
   weeks_materialized->Add(macros_by_week_.size());
   return built;
 }
@@ -189,6 +191,7 @@ size_t AtypicalForest::MaterializeMonths(int days_per_month) {
     built += macros.size();
     macros_by_month_.emplace(month, std::move(macros));
   }
+  months_version_ = version_;
   months_materialized->Add(macros_by_month_.size());
   return built;
 }
@@ -235,19 +238,45 @@ void AtypicalForest::InstallDay(int day,
   CHECK(!micros_by_day_.contains(day)) << "day " << day << " already present";
   AdvanceIdsPast(micros);
   num_micros_ += micros.size();
+  day_versions_[day] = ++version_;
   micros_by_day_.emplace(day, std::move(micros));
 }
 
 void AtypicalForest::InstallWeek(int week,
                                  std::vector<AtypicalCluster> macros) {
   AdvanceIdsPast(macros);
+  // Installing a level asserts it is consistent with the days installed so
+  // far (the persistence format saves levels and leaves from one forest
+  // state); days mutated after this install make it stale again.
+  weeks_version_ = version_;
   macros_by_week_[week] = std::move(macros);
 }
 
 void AtypicalForest::InstallMonth(int month,
                                   std::vector<AtypicalCluster> macros) {
   AdvanceIdsPast(macros);
+  months_version_ = version_;
   macros_by_month_[month] = std::move(macros);
+}
+
+bool AtypicalForest::DaysMutatedSince(int first_day, int last_day,
+                                      uint64_t level_version) const {
+  for (auto it = day_versions_.lower_bound(first_day);
+       it != day_versions_.end() && it->first <= last_day; ++it) {
+    if (it->second > level_version) return true;
+  }
+  return false;
+}
+
+bool AtypicalForest::WeekIsStale(int week) const {
+  if (!macros_by_week_.contains(week)) return false;
+  return DaysMutatedSince(week * 7, week * 7 + 6, weeks_version_);
+}
+
+bool AtypicalForest::MonthIsStale(int month) const {
+  if (!macros_by_month_.contains(month) || month_days_ <= 0) return false;
+  const int first = month * month_days_;
+  return DaysMutatedSince(first, first + month_days_ - 1, months_version_);
 }
 
 uint64_t AtypicalForest::ByteSize() const {

@@ -59,7 +59,10 @@ class AtypicalForest {
   // are appended to the day's leaf set.  Records split across batches are
   // not re-joined at the leaf — query-time integration merges similar
   // clusters — and materialized week/month levels are not refreshed; call
-  // MaterializeWeeks/MaterializeMonths again after late batches.
+  // MaterializeWeeks/MaterializeMonths again after late batches.  Until
+  // then the affected levels read as stale (WeekIsStale/MonthIsStale) and
+  // the query planner falls back to the day leaves instead of serving
+  // pre-batch macros.
   void AddDay(int day, const std::vector<AtypicalRecord>& records);
 
   // Groups `records` by day and adds each day (appending to days already
@@ -99,6 +102,22 @@ class AtypicalForest {
   std::vector<int> MaterializedWeeks() const;
   std::vector<int> MaterializedMonths() const;
 
+  // ---- mutation versioning ----
+  // Monotone counter bumped by every day mutation (AddDay / AddRecords /
+  // InstallDay).  Materialization records the version it was built at, so a
+  // materialized level whose covered days mutated afterwards is detectable
+  // as stale — the query planner must not serve its macros
+  // (CollectPlannedInputs skips them and counts
+  // query.stale_materialized_skipped).  The serving layer additionally uses
+  // the version as a cheap "did anything change" probe between snapshot
+  // publishes (DESIGN §16).
+  uint64_t version() const { return version_; }
+  // True when some day in the week's/month's span mutated after the level
+  // was last materialized (or installed).  Weeks/months that were never
+  // materialized are not stale — they are simply absent.
+  ATYPICAL_HOT bool WeekIsStale(int week) const;
+  ATYPICAL_HOT bool MonthIsStale(int month) const;
+
   // ---- persistence support (storage::LoadForest) ----
   // Installs pre-built clusters directly, bypassing retrieval/integration.
   // The id generator is advanced past every installed cluster id so new
@@ -127,6 +146,10 @@ class AtypicalForest {
   // Moves the id generator past every id in `clusters`.
   void AdvanceIdsPast(const std::vector<AtypicalCluster>& clusters);
 
+  // Any day in [first_day, last_day] mutated after `level_version`?
+  bool DaysMutatedSince(int first_day, int last_day,
+                        uint64_t level_version) const;
+
   const SensorNetwork* network_;
   TimeGrid grid_;
   ForestParams params_;
@@ -137,6 +160,13 @@ class AtypicalForest {
   std::map<int, DayProvenance> provenance_by_day_;
   size_t num_micros_ = 0;
   int month_days_ = 0;
+  // Mutation versioning: version_ counts day mutations, day_versions_ maps
+  // each day to the version of its last mutation, and the per-level stamps
+  // record the version the level was materialized (or installed) at.
+  uint64_t version_ = 0;
+  std::map<int, uint64_t> day_versions_;
+  uint64_t weeks_version_ = 0;
+  uint64_t months_version_ = 0;
 };
 
 }  // namespace atypical

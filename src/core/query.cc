@@ -23,7 +23,7 @@ const char* QueryStrategyName(QueryStrategy strategy) {
 
 QueryEngine::QueryEngine(const SensorNetwork* network,
                          const SpatialPartition* regions,
-                         AtypicalForest* forest,
+                         const AtypicalForest* forest,
                          const cube::BottomUpCube* atypical_cube,
                          const QueryEngineOptions& options)
     : network_(network),
@@ -89,12 +89,19 @@ std::vector<AtypicalCluster> QueryEngine::CollectPlannedInputs(
   };
 
   std::vector<AtypicalCluster> inputs;
-  // Months first (largest pre-integrated units), then weeks.
+  // Months first (largest pre-integrated units), then weeks.  A level whose
+  // covered days mutated after it was built (late AddRecords batch) would
+  // serve stale macros; the forest's versioning detects that, the planner
+  // skips the level, and the days fall through to the leaf loop below.
   if (forest_->month_days() > 0) {
     for (int month : forest_->MaterializedMonths()) {
       const int first = month * forest_->month_days();
       const int last = first + forest_->month_days() - 1;
       if (!all_uncovered(first, last)) continue;
+      if (forest_->MonthIsStale(month)) {
+        ++cost->stale_materialized_skipped;
+        continue;
+      }
       for (const AtypicalCluster& c : forest_->MacrosOfMonth(month)) {
         inputs.push_back(c);
       }
@@ -107,6 +114,10 @@ std::vector<AtypicalCluster> QueryEngine::CollectPlannedInputs(
     const int first = week * 7;
     const int last = first + 6;
     if (!all_uncovered(first, last)) continue;
+    if (forest_->WeekIsStale(week)) {
+      ++cost->stale_materialized_skipped;
+      continue;
+    }
     for (const AtypicalCluster& c : forest_->MacrosOfWeek(week)) {
       inputs.push_back(c);
     }
@@ -208,9 +219,12 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
   }
 
   result.cost.input_micro_clusters = micros.size();
+  // Query-local id source: results are bit-identical for the same query on
+  // the same forest state regardless of prior or concurrent queries, and
+  // the forest stays untouched (see kQueryMacroIdBase).
+  ClusterIdGenerator result_ids(kQueryMacroIdBase);
   result.clusters = IntegrateClusters(std::move(micros), options_.integration,
-                                      forest_->ids(),
-                                      &result.cost.integration);
+                                      &result_ids, &result.cost.integration);
 
   if (options_.post_check_significance) {
     // Algorithm 4 lines 5–7: remove false positives (in place, order kept).
@@ -247,6 +261,8 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
       obs::Registry()->GetCounter("query.materialized_inputs");
   static obs::Counter* const obs_materialized_days =
       obs::Registry()->GetCounter("query.days_from_materialized");
+  static obs::Counter* const obs_stale_skipped =
+      obs::Registry()->GetCounter("query.stale_materialized_skipped");
   static obs::Counter* const obs_clusters_out =
       obs::Registry()->GetCounter("query.clusters_out");
   static obs::Counter* const obs_exact_scans =
@@ -264,6 +280,7 @@ QueryResult QueryEngine::Run(const AnalyticalQuery& query,
   obs_materialized->Add(result.cost.materialized_inputs);
   obs_materialized_days->Add(
       static_cast<uint64_t>(std::max(0, result.cost.days_from_materialized)));
+  obs_stale_skipped->Add(result.cost.stale_materialized_skipped);
   obs_clusters_out->Add(result.clusters.size());
   obs_exact_scans->Add(result.cost.integration.exact_scans);
   obs_pruned->Add(result.cost.integration.pruned_scans);

@@ -30,6 +30,18 @@ struct AnalyticalQuery {
   DayRange days;
 };
 
+// First id handed to macro-clusters a query's integration creates.  Run()
+// draws from a query-local generator starting here instead of the forest's
+// shared one, so (a) the engine never mutates the forest — Run() is truly
+// const and safe against a concurrent materialization — and (b) the same
+// query on the same forest state returns bit-identical results, ids
+// included, no matter how many queries ran before or alongside it (the
+// serving layer's cached-equals-uncached contract, DESIGN §16).  The base
+// sits far above every stored id (leaf micros count from 1, the incremental
+// integrator's scratch ids from 2^40), so result macro ids never collide
+// with the micro ids they reference.
+inline constexpr ClusterId kQueryMacroIdBase = ClusterId{1} << 42;
+
 enum class QueryStrategy : uint8_t { kAll, kPrune, kGuided };
 
 const char* QueryStrategyName(QueryStrategy strategy);
@@ -45,6 +57,10 @@ struct QueryCost {
   // day micro-clusters, and the days they covered.
   size_t materialized_inputs = 0;
   int days_from_materialized = 0;
+  // Materialized levels the planner refused because a late batch mutated a
+  // covered day after the level was built (forest versioning; the level
+  // would have served stale macros).  The skipped days fall back to leaves.
+  size_t stale_materialized_skipped = 0;
   IntegrationStats integration;
 };
 
@@ -116,8 +132,12 @@ struct QueryScratch {
 // red-zone guidance; it must cover the forest's data.
 class QueryEngine {
  public:
+  // The engine only ever reads the forest: queries draw result ids from a
+  // query-local generator (kQueryMacroIdBase), so a const forest is enough
+  // and concurrent Run() calls never race a writer through the engine.
   QueryEngine(const SensorNetwork* network, const SpatialPartition* regions,
-              AtypicalForest* forest, const cube::BottomUpCube* atypical_cube,
+              const AtypicalForest* forest,
+              const cube::BottomUpCube* atypical_cube,
               const QueryEngineOptions& options);
 
   const QueryEngineOptions& options() const { return options_; }
@@ -159,7 +179,7 @@ class QueryEngine {
 
   const SensorNetwork* network_;
   const SpatialPartition* regions_;
-  AtypicalForest* forest_;
+  const AtypicalForest* forest_;
   const cube::BottomUpCube* atypical_cube_;
   QueryEngineOptions options_;
 };

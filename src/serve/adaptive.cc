@@ -1,0 +1,74 @@
+#include "serve/adaptive.h"
+
+#include "obs/stats.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace serve {
+
+namespace {
+
+// Preference order for exploration and tie-breaks: Gui (the paper's
+// recommended strategy), then Pru, then All.
+constexpr QueryStrategy kPreferenceOrder[] = {
+    QueryStrategy::kGuided, QueryStrategy::kPrune, QueryStrategy::kAll};
+
+}  // namespace
+
+AdaptiveStrategySelector::AdaptiveStrategySelector(
+    const AdaptiveOptions& options)
+    : options_(options) {
+  CHECK_GT(options.ewma_alpha, 0.0);
+  CHECK_LE(options.ewma_alpha, 1.0);
+}
+
+QueryStrategy AdaptiveStrategySelector::ChooseStrategy() const {
+  MutexLock lock(&mu_);
+  // Exploration: any strategy below the sample floor gets priority, least
+  // sampled first so all three fill evenly.
+  QueryStrategy explore = QueryStrategy::kGuided;
+  uint64_t fewest = options_.min_samples_per_strategy;
+  bool exploring = false;
+  for (QueryStrategy s : kPreferenceOrder) {
+    const uint64_t n = stats_[IndexOf(s)].samples;
+    if (n < fewest) {
+      fewest = n;
+      explore = s;
+      exploring = true;
+    }
+  }
+  if (exploring) return explore;
+
+  QueryStrategy best = QueryStrategy::kGuided;
+  double best_seconds = stats_[IndexOf(best)].ewma_seconds;
+  for (QueryStrategy s : kPreferenceOrder) {
+    const double seconds = stats_[IndexOf(s)].ewma_seconds;
+    if (seconds < best_seconds) {
+      best = s;
+      best_seconds = seconds;
+    }
+  }
+  return best;
+}
+
+void AdaptiveStrategySelector::ObserveCost(QueryStrategy strategy,
+                                           const QueryCost& cost) {
+  MutexLock lock(&mu_);
+  StrategyStats& s = stats_[IndexOf(strategy)];
+  if (s.samples == 0) {
+    s.ewma_seconds = cost.seconds;
+  } else {
+    s.ewma_seconds = options_.ewma_alpha * cost.seconds +
+                     (1.0 - options_.ewma_alpha) * s.ewma_seconds;
+  }
+  ++s.samples;
+}
+
+AdaptiveStrategySelector::StrategyStats AdaptiveStrategySelector::StatsFor(
+    QueryStrategy strategy) const {
+  MutexLock lock(&mu_);
+  return stats_[IndexOf(strategy)];
+}
+
+}  // namespace serve
+}  // namespace atypical

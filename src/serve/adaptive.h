@@ -1,0 +1,70 @@
+// Adaptive strategy selection for serving (DESIGN §16).
+//
+// The paper's evaluation (§V) shows no single strategy dominates: All is
+// exact but quadratic in the inputs, Pru is fast but can miss macro-clusters
+// built from individually-trivial micros, Gui tracks All's answers at a
+// fraction of the cost when red zones are selective.  A serving deployment
+// sees a stable query mix, so the selector learns from its own traffic:
+// observe each strategy's QueryCost, keep an EWMA of its latency, and route
+// kAuto queries to the current-cheapest strategy once every strategy has a
+// minimum number of samples (exploring least-sampled strategies first until
+// then).  Gui — the paper's recommended default — is the fallback whenever
+// there is nothing to learn from yet.
+#ifndef ATYPICAL_SERVE_ADAPTIVE_H_
+#define ATYPICAL_SERVE_ADAPTIVE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/query.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace atypical {
+namespace serve {
+
+struct AdaptiveOptions {
+  // Samples each strategy needs before its EWMA is trusted; until every
+  // strategy has this many, ChooseStrategy explores the least-sampled one.
+  uint64_t min_samples_per_strategy = 3;
+  // EWMA smoothing: ewma ← α·sample + (1-α)·ewma.
+  double ewma_alpha = 0.2;
+};
+
+// Thread-safe: ChooseStrategy and ObserveCost may race freely across
+// serving threads.
+class AdaptiveStrategySelector {
+ public:
+  explicit AdaptiveStrategySelector(
+      const AdaptiveOptions& options = AdaptiveOptions());
+  AdaptiveStrategySelector(const AdaptiveStrategySelector&) = delete;
+  AdaptiveStrategySelector& operator=(const AdaptiveStrategySelector&) = delete;
+
+  // The strategy a kAuto query should run now: the least-sampled strategy
+  // while any is below min_samples_per_strategy (exploration, Gui first),
+  // else the one with the lowest latency EWMA (ties prefer Gui, then Pru).
+  QueryStrategy ChooseStrategy() const;
+
+  // Feeds one executed query's cost back into the model.  Cache hits must
+  // not be observed — they measure the cache, not the strategy.
+  void ObserveCost(QueryStrategy strategy, const QueryCost& cost);
+
+  struct StrategyStats {
+    uint64_t samples = 0;
+    double ewma_seconds = 0.0;
+  };
+  StrategyStats StatsFor(QueryStrategy strategy) const;
+
+ private:
+  static constexpr int kNumStrategies = 3;
+  static int IndexOf(QueryStrategy s) { return static_cast<int>(s); }
+
+  const AdaptiveOptions options_;
+  mutable Mutex mu_;
+  std::array<StrategyStats, kNumStrategies> stats_ ATYPICAL_GUARDED_BY(mu_);
+};
+
+}  // namespace serve
+}  // namespace atypical
+
+#endif  // ATYPICAL_SERVE_ADAPTIVE_H_

@@ -1,0 +1,111 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace serve {
+
+const char* ServeStrategyName(ServeStrategy strategy) {
+  switch (strategy) {
+    case ServeStrategy::kAll:
+      return "All";
+    case ServeStrategy::kPrune:
+      return "Pru";
+    case ServeStrategy::kGuided:
+      return "Gui";
+    case ServeStrategy::kAuto:
+      return "Auto";
+  }
+  return "unknown";
+}
+
+QueryStrategy ToQueryStrategy(ServeStrategy strategy) {
+  switch (strategy) {
+    case ServeStrategy::kAll:
+      return QueryStrategy::kAll;
+    case ServeStrategy::kPrune:
+      return QueryStrategy::kPrune;
+    case ServeStrategy::kGuided:
+      return QueryStrategy::kGuided;
+    case ServeStrategy::kAuto:
+      break;
+  }
+  LOG(FATAL) << "kAuto resolves inside the service, not here";
+  return QueryStrategy::kGuided;
+}
+
+QueryService::QueryService(const ServingForest* serving,
+                           const ServeOptions& options)
+    : serving_(serving),
+      options_(options),
+      cache_(options.cache_entries),
+      selector_(options.adaptive) {
+  CHECK(serving != nullptr);
+}
+
+ServeReply QueryService::ServeQuery(const AnalyticalQuery& query,
+                                    ServeStrategy strategy) {
+  QueryScratch scratch;
+  return ServeQuery(query, strategy, &scratch);
+}
+
+ServeReply QueryService::ServeQuery(const AnalyticalQuery& query,
+                                    ServeStrategy strategy,
+                                    QueryScratch* scratch) {
+  static obs::Counter* const requests =
+      obs::Registry()->GetCounter("serve.requests");
+  static obs::Counter* const auto_requests =
+      obs::Registry()->GetCounter("serve.auto_requests");
+  static obs::Histogram* const request_seconds =
+      obs::Registry()->GetHistogram("serve.request_seconds");
+  obs::TraceSpan span(request_seconds);
+  requests->Add(1);
+
+  ServeReply reply;
+  reply.snapshot = serving_->AcquireSnapshot();
+  const ForestSnapshot& snap = *reply.snapshot;
+
+  // Resolve kAuto before building the cache key, so an auto-routed query
+  // and the same query issued with the explicit strategy share one entry.
+  if (strategy == ServeStrategy::kAuto) {
+    auto_requests->Add(1);
+    reply.strategy = selector_.ChooseStrategy();
+  } else {
+    reply.strategy = ToQueryStrategy(strategy);
+  }
+
+  // Epoch advance: lazily collect cache entries from epochs no new request
+  // can key into.  The epoch inside the key already guarantees correctness;
+  // this only reclaims memory.
+  uint64_t seen = gc_epoch_.load(std::memory_order_relaxed);
+  if (snap.epoch > seen &&
+      gc_epoch_.compare_exchange_strong(seen, snap.epoch,
+                                        std::memory_order_relaxed)) {
+    cache_.DropStaleEpochs(snap.epoch);
+  }
+
+  const QueryCacheKey key = QueryCacheKey::Make(
+      query, snap.engine.options().significance.delta_s, reply.strategy,
+      snap.epoch);
+  if (std::shared_ptr<const QueryResult> cached = cache_.FindCached(key)) {
+    reply.result = std::move(cached);
+    reply.cache_hit = true;
+    return reply;
+  }
+
+  auto result = std::make_shared<QueryResult>(
+      snap.engine.Run(query, reply.strategy, scratch));
+  // Cache hits skip this on purpose: a hit's cost measures the cache, not
+  // the strategy.
+  selector_.ObserveCost(reply.strategy, result->cost);
+  reply.result = std::move(result);
+  cache_.StoreCached(key, reply.result);
+  return reply;
+}
+
+}  // namespace serve
+}  // namespace atypical

@@ -1,0 +1,117 @@
+#include "serve/result_cache.h"
+
+#include "obs/stats.h"
+#include "util/logging.h"
+
+namespace atypical {
+namespace serve {
+
+namespace {
+
+obs::Counter* HitsCounter() {
+  static obs::Counter* const c = obs::Registry()->GetCounter("serve.cache.hits");
+  return c;
+}
+obs::Counter* MissesCounter() {
+  static obs::Counter* const c =
+      obs::Registry()->GetCounter("serve.cache.misses");
+  return c;
+}
+obs::Counter* EvictionsCounter() {
+  static obs::Counter* const c =
+      obs::Registry()->GetCounter("serve.cache.evictions");
+  return c;
+}
+obs::Counter* InvalidationsCounter() {
+  static obs::Counter* const c =
+      obs::Registry()->GetCounter("serve.cache.invalidations");
+  return c;
+}
+obs::Gauge* EntriesGauge() {
+  static obs::Gauge* const g =
+      obs::Registry()->GetGauge("serve.cache.entries");
+  return g;
+}
+
+}  // namespace
+
+QueryResultCache::QueryResultCache(size_t max_entries)
+    : max_entries_(max_entries) {}
+
+std::shared_ptr<const QueryResult> QueryResultCache::FindCached(
+    const QueryCacheKey& key) {
+  MutexLock lock(&mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    MissesCounter()->Add(1);
+    return nullptr;
+  }
+  ++hits_;
+  HitsCounter()->Add(1);
+  // Refresh recency: splice the node to the front without reallocating.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void QueryResultCache::StoreCached(const QueryCacheKey& key,
+                                   std::shared_ptr<const QueryResult> result) {
+  CHECK(result != nullptr);
+  if (max_entries_ == 0) return;  // caching disabled
+  MutexLock lock(&mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic engines make a re-store redundant but harmless (a racing
+    // miss on the same key); keep the first result, refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_.emplace(key, lru_.begin());
+  while (index_.size() > max_entries_) {
+    const Entry& victim = lru_.back();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    EvictionsCounter()->Add(1);
+  }
+  EntriesGauge()->Set(static_cast<int64_t>(index_.size()));
+}
+
+size_t QueryResultCache::DropStaleEpochs(uint64_t live_epoch) {
+  MutexLock lock(&mu_);
+  // Keys order by epoch first, so the stale entries are a prefix of the
+  // index.
+  size_t dropped = 0;
+  for (auto it = index_.begin();
+       it != index_.end() && it->first.epoch < live_epoch;) {
+    lru_.erase(it->second);
+    it = index_.erase(it);
+    ++dropped;
+  }
+  if (dropped > 0) {
+    invalidations_ += dropped;
+    InvalidationsCounter()->Add(dropped);
+    EntriesGauge()->Set(static_cast<int64_t>(index_.size()));
+  }
+  return dropped;
+}
+
+QueryResultCache::CacheTotals QueryResultCache::totals() const {
+  MutexLock lock(&mu_);
+  CacheTotals t;
+  t.hits = hits_;
+  t.misses = misses_;
+  t.evictions = evictions_;
+  t.invalidations = invalidations_;
+  t.entries = index_.size();
+  const uint64_t lookups = hits_ + misses_;
+  if (lookups > 0) {
+    t.hit_rate_percent =
+        100.0 * static_cast<double>(hits_) / static_cast<double>(lookups);
+  }
+  return t;
+}
+
+}  // namespace serve
+}  // namespace atypical

@@ -123,6 +123,69 @@ TEST_F(QueryPlanningTest, InvertedRangeReturnsDefaultResult) {
   }
 }
 
+// Regression: a late AddRecords batch used to leave materialized week/month
+// macros silently stale — a planned query would keep serving pre-batch
+// answers while a flat query saw the new data.  The forest now versions day
+// mutations, the planner refuses stale levels (counting them in
+// stale_materialized_skipped) and falls back to the leaves, and
+// re-materializing clears the staleness.  Uses its own context because the
+// late batch mutates the forest the shared fixture tests depend on.
+TEST(QueryPlanningStalenessTest, LateBatchChangesPlannedAnswer) {
+  const std::unique_ptr<analytics::ExperimentContext> ctx =
+      analytics::BuildContext(WorkloadScale::kTiny, 2,
+                              analytics::DefaultForestParams(), 101);
+  ctx->forest->MaterializeWeeks();
+  ctx->forest->MaterializeMonths(ctx->days_per_month());
+
+  QueryEngineOptions planned_options = analytics::DefaultEngineOptions();
+  planned_options.use_materialized_levels = true;
+  const QueryEngine planned = ctx->MakeEngine(planned_options);
+  const QueryEngine flat = ctx->MakeEngine(analytics::DefaultEngineOptions());
+
+  auto mass = [](const QueryResult& r) {
+    double total = 0.0;
+    for (const AtypicalCluster& c : r.clusters) total += c.severity();
+    return total;
+  };
+
+  const AnalyticalQuery query = ctx->WholeAreaQuery(14);
+  const QueryResult before = planned.Run(query, QueryStrategy::kAll);
+  EXPECT_EQ(before.cost.stale_materialized_skipped, 0u);
+  EXPECT_EQ(before.cost.days_from_materialized, 14);
+
+  // A late batch for the first stored day: re-feed that day's records.
+  const int late_day = ctx->forest->Days().front();
+  std::vector<AtypicalRecord> late_batch;
+  for (const AtypicalRecord& r : ctx->monthly_atypical[0]) {
+    if (ctx->time_grid().DayOfWindow(r.window) == late_day) {
+      late_batch.push_back(r);
+    }
+  }
+  ASSERT_FALSE(late_batch.empty());
+  ctx->forest->AddRecords(late_batch);
+  EXPECT_TRUE(ctx->forest->WeekIsStale(late_day / 7));
+
+  // The planner now refuses the mutated day's week and month and the
+  // planned answer changes — it matches the flat (leaf) answer, which sees
+  // the extra records, instead of the stale macros.
+  const QueryResult after = planned.Run(query, QueryStrategy::kAll);
+  EXPECT_GE(after.cost.stale_materialized_skipped, 2u);  // month 0 + week 0
+  EXPECT_LT(after.cost.days_from_materialized, 14);
+  const QueryResult flat_after = flat.Run(query, QueryStrategy::kAll);
+  EXPECT_NEAR(mass(after), mass(flat_after), 1e-6);
+  EXPECT_GT(mass(after), mass(before) + 1e-6)
+      << "the late batch's severity must reach planned answers";
+
+  // Re-materializing rebuilds the levels at the current version: staleness
+  // clears, the full range plans from levels again, the answer is kept.
+  ctx->forest->MaterializeWeeks();
+  ctx->forest->MaterializeMonths(ctx->days_per_month());
+  const QueryResult rebuilt = planned.Run(query, QueryStrategy::kAll);
+  EXPECT_EQ(rebuilt.cost.stale_materialized_skipped, 0u);
+  EXPECT_EQ(rebuilt.cost.days_from_materialized, 14);
+  EXPECT_NEAR(mass(rebuilt), mass(after), 1e-6);
+}
+
 TEST_F(QueryPlanningTest, SpatialFilterStillApplies) {
   AnalyticalQuery query = ctx_->WholeAreaQuery(14);
   const GeoRect bounds = query.area;

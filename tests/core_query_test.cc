@@ -196,5 +196,52 @@ TEST_F(QueryEngineTest, CostsAreInternallyConsistent) {
   EXPECT_GE(result.cost.seconds, result.cost.integration.seconds);
 }
 
+// Regression: the engine used to demand a mutable AtypicalForest* (it drew
+// result ids from the forest's shared generator), which made it impossible
+// to query a frozen snapshot.  An engine over a const forest must compile
+// and answer identically to one over the mutable original — including
+// result macro ids, which now come from the query-local kQueryMacroIdBase
+// generator instead of shared mutable state.
+TEST_F(QueryEngineTest, RunsAgainstConstForest) {
+  const AtypicalForest& frozen = *ctx_->forest;  // const view, same forest
+  const QueryEngineOptions options = analytics::DefaultEngineOptions();
+  const QueryEngine const_engine(&ctx_->network(), &ctx_->regions(), &frozen,
+                                 &ctx_->atypical_cube, options);
+  const AnalyticalQuery query = ctx_->WholeAreaQuery(14);
+  for (const QueryStrategy strategy :
+       {QueryStrategy::kAll, QueryStrategy::kPrune, QueryStrategy::kGuided}) {
+    const QueryResult from_const = const_engine.Run(query, strategy);
+    const QueryResult from_mutable = ctx_->MakeEngine(options).Run(query, strategy);
+    ASSERT_EQ(from_const.clusters.size(), from_mutable.clusters.size());
+    for (size_t i = 0; i < from_const.clusters.size(); ++i) {
+      EXPECT_EQ(from_const.clusters[i].id, from_mutable.clusters[i].id);
+      EXPECT_EQ(from_const.clusters[i].micro_ids,
+                from_mutable.clusters[i].micro_ids);
+      EXPECT_TRUE(from_const.clusters[i].spatial ==
+                  from_mutable.clusters[i].spatial);
+    }
+  }
+}
+
+// Result ids are query-local: running other queries in between (which used
+// to advance the forest's shared generator) must not change a query's ids.
+TEST_F(QueryEngineTest, ResultIdsIndependentOfPriorQueries) {
+  const AnalyticalQuery query = ctx_->WholeAreaQuery(14);
+  const QueryResult first = Engine().Run(query, QueryStrategy::kAll);
+  for (int day = 0; day < 5; ++day) {
+    AnalyticalQuery other = query;
+    other.days = DayRange{day, day + 3};
+    Engine().Run(other, QueryStrategy::kAll);
+  }
+  const QueryResult second = Engine().Run(query, QueryStrategy::kAll);
+  ASSERT_EQ(first.clusters.size(), second.clusters.size());
+  for (size_t i = 0; i < first.clusters.size(); ++i) {
+    EXPECT_EQ(first.clusters[i].id, second.clusters[i].id);
+    if (first.clusters[i].num_micros() > 1) {
+      EXPECT_GE(first.clusters[i].id, kQueryMacroIdBase);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace atypical

@@ -1,0 +1,121 @@
+// Many-readers / one-writer pounding: reader threads serve a repeating query
+// mix (cache hits and misses, explicit and kAuto strategies) while the
+// writer keeps staging new days, re-materializing levels and publishing
+// epochs.  Every reply must be bit-identical to an uncached single-threaded
+// engine run on the reply's own snapshot.  Run under ThreadSanitizer (the
+// tsan CI job runs the whole ctest suite) this is the data-race proof for
+// the serving layer; in a plain build it still verifies the
+// cached-equals-uncached contract under real concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analytics/report.h"
+#include "serve/query_service.h"
+#include "serve_test_util.h"
+
+namespace atypical {
+namespace serve {
+namespace {
+
+TEST(ServePoundingTest, ReadersStayConsistentWhileWriterPublishes) {
+  const std::unique_ptr<analytics::ExperimentContext> ctx =
+      analytics::BuildContext(WorkloadScale::kTiny, 2,
+                              analytics::DefaultForestParams(), 37);
+  // Materialized planning on: planned All queries race level rebuilds too,
+  // and stay deterministic because each snapshot freezes the levels.
+  QueryEngineOptions engine_options = analytics::DefaultEngineOptions();
+  engine_options.use_materialized_levels = true;
+  auto serving = MakeServing(*ctx, engine_options);
+
+  // Split the generated records by day so the writer can drip them in.
+  std::map<int, std::vector<AtypicalRecord>> by_day;
+  const TimeGrid& grid = ctx->time_grid();
+  for (const std::vector<AtypicalRecord>& month : ctx->monthly_atypical) {
+    for (const AtypicalRecord& r : month) {
+      by_day[grid.DayOfWindow(r.window)].push_back(r);
+    }
+  }
+
+  // Seed the first day so readers have data from the start.
+  auto day_it = by_day.begin();
+  ASSERT_NE(day_it, by_day.end());
+  serving->staging_forest()->AddDay(day_it->first, day_it->second);
+  ++day_it;
+  serving->PublishSnapshot();
+
+  ServeOptions options;
+  options.cache_entries = 64;
+  QueryService service(serving.get(), options);
+
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 150;
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> writer_done{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int reader = 0; reader < kReaders; ++reader) {
+    readers.emplace_back([&, reader] {
+      QueryScratch scratch;  // warm per-thread scratch, the serving idiom
+      const ServeStrategy strategies[] = {
+          ServeStrategy::kAll, ServeStrategy::kPrune, ServeStrategy::kGuided,
+          ServeStrategy::kAuto};
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        // A small repeating pool of queries: repeats hit the cache, the
+        // day-offset ones miss, and epoch publishes reshuffle both.
+        AnalyticalQuery query = ctx->WholeAreaQuery(14);
+        query.days = DayRange{(i % 3) * 2, (i % 3) * 2 + 6};
+        const ServeStrategy strategy =
+            strategies[(reader + i) % std::size(strategies)];
+
+        const ServeReply reply = service.ServeQuery(query, strategy, &scratch);
+        ASSERT_NE(reply.result, nullptr);
+        ASSERT_NE(reply.snapshot, nullptr);
+
+        // The contract, checked against the exact snapshot served: an
+        // uncached, single-threaded run must agree bit for bit.
+        const QueryResult direct =
+            reply.snapshot->engine.Run(query, reply.strategy, &scratch);
+        if (!BitIdentical(*reply.result, direct)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    // Drip the remaining days in, re-materializing every few publishes so
+    // readers race against level rebuilds too.
+    int publishes = 0;
+    for (; day_it != by_day.end(); ++day_it) {
+      serving->staging_forest()->AddDay(day_it->first, day_it->second);
+      if (++publishes % 3 == 0) {
+        serving->staging_forest()->MaterializeWeeks();
+      }
+      serving->PublishSnapshot();
+    }
+    writer_done.store(true, std::memory_order_relaxed);
+  });
+
+  for (std::thread& t : readers) t.join();
+  writer.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_GT(serving->current_epoch(), 1u);
+
+  // The repeating pool must have produced real cache traffic.
+  const QueryResultCache::CacheTotals totals = service.cache_totals();
+  EXPECT_GT(totals.hits, 0u);
+  EXPECT_GT(totals.misses, 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace atypical

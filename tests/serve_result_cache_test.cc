@@ -1,0 +1,123 @@
+// QueryResultCache unit tests: hit/miss/eviction accounting, strict LRU
+// order, epoch keying and invalidation, and the disabled (0-entry) mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "serve/result_cache.h"
+
+namespace atypical {
+namespace serve {
+namespace {
+
+// A result distinguishable by its threshold (the cache never inspects
+// contents, so any marker works).
+std::shared_ptr<const QueryResult> MarkedResult(double marker) {
+  auto r = std::make_shared<QueryResult>();
+  r->threshold = marker;
+  return r;
+}
+
+QueryCacheKey KeyFor(int day, uint64_t epoch,
+                     QueryStrategy strategy = QueryStrategy::kAll) {
+  AnalyticalQuery query;
+  query.area = GeoRect{0, 0, 10, 10};
+  query.days = DayRange{day, day + 6};
+  return QueryCacheKey::Make(query, 0.05, strategy, epoch);
+}
+
+TEST(QueryResultCacheTest, MissThenHit) {
+  QueryResultCache cache(4);
+  const QueryCacheKey key = KeyFor(0, 1);
+  EXPECT_EQ(cache.FindCached(key), nullptr);
+  cache.StoreCached(key, MarkedResult(1.0));
+
+  std::shared_ptr<const QueryResult> hit = cache.FindCached(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->threshold, 1.0);
+
+  const QueryResultCache::CacheTotals totals = cache.totals();
+  EXPECT_EQ(totals.hits, 1u);
+  EXPECT_EQ(totals.misses, 1u);
+  EXPECT_EQ(totals.evictions, 0u);
+  EXPECT_EQ(totals.entries, 1u);
+  EXPECT_DOUBLE_EQ(totals.hit_rate_percent, 50.0);
+}
+
+TEST(QueryResultCacheTest, KeyCoversEveryQueryDimension) {
+  QueryResultCache cache(16);
+  const QueryCacheKey base = KeyFor(0, 1, QueryStrategy::kAll);
+  cache.StoreCached(base, MarkedResult(1.0));
+
+  // Different T, strategy, or epoch: all distinct entries.
+  EXPECT_EQ(cache.FindCached(KeyFor(7, 1)), nullptr);
+  EXPECT_EQ(cache.FindCached(KeyFor(0, 1, QueryStrategy::kGuided)), nullptr);
+  EXPECT_EQ(cache.FindCached(KeyFor(0, 2)), nullptr);
+
+  // Different W or δs likewise.
+  QueryCacheKey other_area = base;
+  other_area.max_x = 5.0;
+  EXPECT_EQ(cache.FindCached(other_area), nullptr);
+  QueryCacheKey other_delta = base;
+  other_delta.delta_s = 0.10;
+  EXPECT_EQ(cache.FindCached(other_delta), nullptr);
+
+  ASSERT_NE(cache.FindCached(base), nullptr);
+}
+
+TEST(QueryResultCacheTest, EvictsLeastRecentlyUsed) {
+  QueryResultCache cache(2);
+  cache.StoreCached(KeyFor(0, 1), MarkedResult(0.0));
+  cache.StoreCached(KeyFor(7, 1), MarkedResult(7.0));
+  // Touch day-0 so day-7 becomes the LRU victim.
+  ASSERT_NE(cache.FindCached(KeyFor(0, 1)), nullptr);
+  cache.StoreCached(KeyFor(14, 1), MarkedResult(14.0));
+
+  EXPECT_NE(cache.FindCached(KeyFor(0, 1)), nullptr);
+  EXPECT_EQ(cache.FindCached(KeyFor(7, 1)), nullptr);  // evicted
+  EXPECT_NE(cache.FindCached(KeyFor(14, 1)), nullptr);
+  EXPECT_EQ(cache.totals().evictions, 1u);
+  EXPECT_EQ(cache.totals().entries, 2u);
+}
+
+TEST(QueryResultCacheTest, DropStaleEpochsRemovesOnlyOldEntries) {
+  QueryResultCache cache(8);
+  cache.StoreCached(KeyFor(0, 1), MarkedResult(1.0));
+  cache.StoreCached(KeyFor(7, 1), MarkedResult(1.0));
+  cache.StoreCached(KeyFor(0, 2), MarkedResult(2.0));
+
+  EXPECT_EQ(cache.DropStaleEpochs(2), 2u);
+  EXPECT_EQ(cache.FindCached(KeyFor(0, 1)), nullptr);
+  EXPECT_EQ(cache.FindCached(KeyFor(7, 1)), nullptr);
+  EXPECT_NE(cache.FindCached(KeyFor(0, 2)), nullptr);
+
+  const QueryResultCache::CacheTotals totals = cache.totals();
+  EXPECT_EQ(totals.invalidations, 2u);
+  EXPECT_EQ(totals.entries, 1u);
+
+  // Idempotent once clean.
+  EXPECT_EQ(cache.DropStaleEpochs(2), 0u);
+}
+
+TEST(QueryResultCacheTest, RedundantStoreKeepsFirstResult) {
+  QueryResultCache cache(4);
+  const QueryCacheKey key = KeyFor(0, 1);
+  cache.StoreCached(key, MarkedResult(1.0));
+  // A racing miss on the same key re-stores; deterministic engines make the
+  // two results identical, so keeping the first is correct.
+  cache.StoreCached(key, MarkedResult(1.0));
+  EXPECT_EQ(cache.totals().entries, 1u);
+}
+
+TEST(QueryResultCacheTest, ZeroCapacityDisablesCaching) {
+  QueryResultCache cache(0);
+  const QueryCacheKey key = KeyFor(0, 1);
+  cache.StoreCached(key, MarkedResult(1.0));
+  EXPECT_EQ(cache.FindCached(key), nullptr);
+  EXPECT_EQ(cache.totals().entries, 0u);
+  EXPECT_EQ(cache.totals().misses, 1u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace atypical
